@@ -1,0 +1,14 @@
+"""Helper functions shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def by_scheme(result, **filters):
+    """Index experiment rows by their scheme label."""
+    return {row["scheme"]: row for row in result.series(**filters)}

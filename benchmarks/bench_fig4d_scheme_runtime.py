@@ -1,0 +1,32 @@
+"""Fig. 4d - end-to-end scheme runtime across topology sizes.
+
+Paper shape: 007 is the fastest; Flock is faster than NetBouncer on the
+same input telemetry; every scheme's runtime grows with scale.
+"""
+
+from repro.eval.experiments import fig4d_scheme_runtime
+
+from _common import run_once
+
+
+def _times(result, scheme):
+    return {
+        row["k"]: row["seconds"]
+        for row in result.rows
+        if row["scheme"] == scheme
+    }
+
+
+def test_fig4d_scheme_runtime(benchmark, show):
+    result = run_once(benchmark, fig4d_scheme_runtime, preset="ci", seed=29)
+    show(result, columns=["servers", "k", "scheme", "seconds"])
+
+    flock_int = _times(result, "Flock (INT)")
+    nb_int = _times(result, "NetBouncer (INT)")
+    v007 = _times(result, "007 (A2)")
+    largest = max(flock_int)
+
+    # Flock beats NetBouncer on the same (INT) input telemetry.
+    assert flock_int[largest] < nb_int[largest]
+    # 007 is the fastest of the lot.
+    assert v007[largest] <= flock_int[largest]

@@ -1,0 +1,19 @@
+"""Fig. 6 (appendix) - the worked example.
+
+Paper shape: on the 5-link, 5-flow micro-scenario, Flock returns
+exactly the failed link (I2<->D2) while 007's votes concentrate on the
+shared middle link (I1<->I2).
+"""
+
+from repro.eval.experiments import fig6_worked_example
+
+from _common import run_once
+
+
+def test_fig6_worked_example(benchmark, show):
+    result = run_once(benchmark, fig6_worked_example)
+    show(result)
+
+    by_scheme = {row["scheme"]: row for row in result.rows}
+    assert by_scheme["Flock"]["correct_only"]
+    assert by_scheme["007"]["predicted"] == ["I1<->I2"]

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the inference kernels.
+
+These are the work units whose asymptotics section 4.1 analyzes:
+Δ-array construction (O(n + mT)), a JLE flip (O(DT)), a direct
+hypothesis evaluation (Sherlock's unit), and a full greedy run.  They
+also pin the vectorized engine's advantage over the reference engine.
+"""
+
+import pytest
+
+from repro.core.flock import FlockInference
+from repro.core.flock_fast import VectorArrays, VectorJleState
+from repro.core.jle import JleState
+from repro.core.params import DEFAULT_PER_PACKET
+
+
+@pytest.fixture(scope="module")
+def problem(drop_problem):
+    return drop_problem
+
+
+def test_vector_delta_construction(benchmark, problem):
+    state = benchmark(VectorJleState, problem, DEFAULT_PER_PACKET)
+    assert state.delta.shape == (problem.n_components,)
+
+
+def test_reference_delta_construction(benchmark, problem):
+    state = benchmark(JleState, problem, DEFAULT_PER_PACKET)
+    assert len(state.delta) == problem.n_components
+
+
+def test_vector_flip(benchmark, problem):
+    state = VectorJleState(problem, DEFAULT_PER_PACKET)
+    comp = problem.observed_components[0]
+
+    def flip_pair():
+        state.flip(comp)
+        state.flip(comp)
+
+    benchmark(flip_pair)
+    assert not state.hypothesis
+
+
+def test_hypothesis_ll_unit(benchmark, problem):
+    arrays = VectorArrays(problem, DEFAULT_PER_PACKET)
+    comps = problem.observed_components[:2]
+    value = benchmark(arrays.hypothesis_ll, comps)
+    assert isinstance(value, float)
+
+
+def test_full_greedy_fast(benchmark, problem):
+    localizer = FlockInference(DEFAULT_PER_PACKET, engine="fast")
+    pred = benchmark(localizer.localize, problem)
+    assert pred.components
+
+
+def test_full_greedy_reference(benchmark, problem):
+    localizer = FlockInference(DEFAULT_PER_PACKET, engine="reference")
+    pred = benchmark(localizer.localize, problem)
+    assert pred.components

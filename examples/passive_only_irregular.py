@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Passive-only localization and ECMP symmetry (paper section 7.6 / Fig. 5c).
+
+Some networks only have NetFlow/IPFIX-style passive data: no probes, no
+traced paths.  Past schemes cannot ingest it at all; Flock (P) can,
+because its PGM models the flow's ECMP path *set*.  The catch is
+symmetry: in a perfect Clos, links that participate in exactly the same
+ECMP path sets are observationally indistinguishable.  This example
+computes those equivalence classes, shows the theoretical precision
+ceiling they impose, and demonstrates how a little irregularity (omitted
+links) breaks the classes and lifts Flock (P)'s accuracy.
+
+Run:  python examples/passive_only_irregular.py
+"""
+
+import numpy as np
+
+from repro import EcmpRouting, SilentLinkDrops, three_tier_clos
+from repro.eval.experiments import flock_setup
+from repro.eval.harness import evaluate
+from repro.eval.scenarios import make_trace_batch
+from repro.topology import (
+    link_equivalence_classes,
+    omit_random_links,
+    theoretical_max_precision,
+)
+
+
+def run_at(base_topo, fraction, seed=31, n_traces=4):
+    rng = np.random.default_rng(seed + int(fraction * 1000))
+    topo, removed = omit_random_links(base_topo, fraction, rng)
+    routing = EcmpRouting(topo)
+    classes = link_equivalence_classes(topo, routing)
+    sizes = sorted((len(g) for g in classes), reverse=True)
+
+    scenarios = [
+        SilentLinkDrops(n_failures=1, min_rate=5e-3, max_rate=1e-2)
+        for _ in range(n_traces)
+    ]
+    traces = make_trace_batch(
+        topo, routing, scenarios, base_seed=seed, n_passive=6000, n_probes=0
+    )
+    summary = evaluate(flock_setup("P"), traces)
+    ceiling = float(np.mean([
+        theoretical_max_precision(classes, t.ground_truth.failed_links)
+        for t in traces
+    ]))
+    return {
+        "omitted": len(removed),
+        "largest_class": sizes[0] if sizes else 0,
+        "n_classes": len(classes),
+        "precision": summary.accuracy.precision,
+        "recall": summary.accuracy.recall,
+        "ceiling": ceiling,
+    }
+
+
+def main():
+    base = three_tier_clos(
+        pods=4, tors_per_pod=4, aggs_per_pod=2,
+        core_groups=2, cores_per_group=2, hosts_per_tor=3,
+    )
+    print(f"fabric: {base}  (passive telemetry only - no probes, no paths)")
+    print(f"\n{'omitted':>8s} {'classes':>8s} {'largest':>8s} "
+          f"{'precision':>9s} {'recall':>7s} {'ceiling':>8s}")
+    for fraction in (0.0, 0.02, 0.05, 0.10, 0.20):
+        row = run_at(base, fraction)
+        print(f"{row['omitted']:8d} {row['n_classes']:8d} "
+              f"{row['largest_class']:8d} {row['precision']:9.2f} "
+              f"{row['recall']:7.2f} {row['ceiling']:8.2f}")
+    print("\nirregularity breaks ECMP symmetry classes, and Flock (P) "
+          "automatically exploits it - no other scheme applies here at all")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Compare all schemes and input types on silent packet drops.
+
+Reproduces the shape of the paper's Fig. 2 at laptop scale: a 3-tier
+Clos with up to 8 concurrently failed links, half the traces with
+uniform traffic and half with a rack-level hotspot; each scheme runs on
+the telemetry it supports (Flock on everything; NetBouncer on A1/INT;
+007 on A2).
+
+Run:  python examples/silent_drops_datacenter.py
+"""
+
+import numpy as np
+
+from repro import EcmpRouting, SilentLinkDrops, three_tier_clos
+from repro.eval.experiments import (
+    flock_setup,
+    netbouncer_setup,
+    standard_scheme_suite,
+    v007_setup,
+)
+from repro.eval.harness import evaluate
+from repro.eval.metrics import error_reduction
+from repro.eval.scenarios import make_trace_batch
+
+
+def main():
+    topo = three_tier_clos(
+        pods=4, tors_per_pod=4, aggs_per_pod=2,
+        core_groups=2, cores_per_group=2, hosts_per_tor=3,
+    )
+    routing = EcmpRouting(topo)
+    print(f"fabric: {topo}")
+
+    rng = np.random.default_rng(0)
+    scenarios = [
+        SilentLinkDrops(n_failures=int(rng.integers(1, 9)))
+        for _ in range(8)
+    ]
+    traces = make_trace_batch(
+        topo, routing, scenarios, base_seed=7,
+        n_passive=5000, n_probes=1200,
+    )
+    n_failures = [len(t.ground_truth.failed_links) for t in traces]
+    print(f"traces: {len(traces)}, concurrent failures per trace: {n_failures}")
+
+    results = {}
+    print(f"\n{'scheme':26s} {'precision':>9s} {'recall':>7s} {'fscore':>7s} "
+          f"{'time':>8s}")
+    for setup in standard_scheme_suite():
+        summary = evaluate(setup, traces)
+        results[setup.labeled()] = summary
+        acc = summary.accuracy
+        print(f"{setup.labeled():26s} {acc.precision:9.3f} {acc.recall:7.3f} "
+              f"{acc.fscore:7.3f} {summary.mean_inference_seconds*1e3:6.0f}ms")
+
+    flock_int = results["Flock (INT)"].accuracy.fscore
+    nb_int = results["NetBouncer (INT)"].accuracy.fscore
+    flock_a2 = results["Flock (A2)"].accuracy.fscore
+    v007_a2 = results["007 (A2)"].accuracy.fscore
+    print(f"\nerror reduction, Flock vs NetBouncer (INT): "
+          f"{error_reduction(nb_int, flock_int):.1f}x")
+    print(f"error reduction, Flock vs 007 (A2):        "
+          f"{error_reduction(v007_a2, flock_a2):.1f}x")
+
+
+if __name__ == "__main__":
+    main()

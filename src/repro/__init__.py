@@ -1,0 +1,136 @@
+"""Flock: accurate network fault localization at scale - reproduction.
+
+A from-scratch Python implementation of the Flock system (Harsh, Meng,
+Agrawal, Godfrey - CoNEXT 2023): a probabilistic-graphical-model fault
+localizer with greedy + JLE (joint likelihood exploration) inference,
+alongside the baselines it is evaluated against (007, NetBouncer,
+Sherlock), the simulation and telemetry substrates, and the full
+evaluation suite.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        EcmpRouting, FlockInference, SilentLinkDrops, TelemetryConfig,
+        build_observations, fat_tree, make_trace, InferenceProblem,
+    )
+
+    topo = fat_tree(4)
+    routing = EcmpRouting(topo)
+    trace = make_trace(topo, routing, SilentLinkDrops(n_failures=2), seed=1)
+    obs = build_observations(
+        trace.records, topo, routing, TelemetryConfig.from_spec("A1+A2+P")
+    )
+    problem = InferenceProblem.from_observations(
+        obs, topo.n_components, topo.n_links
+    )
+    prediction = FlockInference().localize(problem)
+    print({topo.component_name(c) for c in prediction.components})
+"""
+
+from .baselines import NetBouncer, SherlockFerret, Vote007
+from .core import (
+    DEFAULT_PER_FLOW,
+    DEFAULT_PER_PACKET,
+    FlockInference,
+    FlockParams,
+    GibbsInference,
+    GreedyWithoutJle,
+    InferenceProblem,
+    LikelihoodModel,
+)
+from .errors import ReproError
+from .eval import (
+    SchemeSetup,
+    Trace,
+    evaluate,
+    evaluate_prediction,
+    fscore,
+    make_trace,
+    run_on_trace,
+)
+from .routing import EcmpRouting
+from .simulation import (
+    FlowLevelSimulator,
+    LinkFlap,
+    NoFailure,
+    QueueMisconfig,
+    SilentDeviceFailure,
+    SilentLinkDrops,
+)
+from .telemetry import (
+    Collector,
+    TelemetryAgent,
+    TelemetryConfig,
+    build_observations,
+)
+from .topology import (
+    Topology,
+    fat_tree,
+    leaf_spine,
+    paper_simulation_clos,
+    testbed,
+    three_tier_clos,
+)
+from .types import (
+    FlowObservation,
+    FlowRecord,
+    GroundTruth,
+    Prediction,
+    TelemetryKind,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # topology
+    "Topology",
+    "fat_tree",
+    "three_tier_clos",
+    "paper_simulation_clos",
+    "leaf_spine",
+    "testbed",
+    # routing
+    "EcmpRouting",
+    # simulation
+    "FlowLevelSimulator",
+    "SilentLinkDrops",
+    "SilentDeviceFailure",
+    "QueueMisconfig",
+    "LinkFlap",
+    "NoFailure",
+    # telemetry
+    "TelemetryAgent",
+    "Collector",
+    "TelemetryConfig",
+    "build_observations",
+    # core
+    "FlockParams",
+    "DEFAULT_PER_PACKET",
+    "DEFAULT_PER_FLOW",
+    "FlockInference",
+    "GreedyWithoutJle",
+    "GibbsInference",
+    "InferenceProblem",
+    "LikelihoodModel",
+    # baselines
+    "Vote007",
+    "NetBouncer",
+    "SherlockFerret",
+    # eval
+    "SchemeSetup",
+    "Trace",
+    "make_trace",
+    "run_on_trace",
+    "evaluate",
+    "evaluate_prediction",
+    "fscore",
+    # types
+    "FlowRecord",
+    "FlowObservation",
+    "Prediction",
+    "GroundTruth",
+    "TelemetryKind",
+]

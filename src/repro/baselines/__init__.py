@@ -1,0 +1,8 @@
+"""Baseline fault-localization schemes: 007, NetBouncer, Sherlock."""
+
+from .b007 import Vote007
+from .base import ExactFlow, exact_flow_view
+from .netbouncer import NetBouncer
+from .sherlock import SherlockFerret
+
+__all__ = ["Vote007", "NetBouncer", "SherlockFerret", "ExactFlow", "exact_flow_view"]

@@ -1,0 +1,61 @@
+"""007 baseline (Arzani et al., NSDI 2018) - Algorithm 1 voting.
+
+007's analysis agent assigns blame by voting: every flow that saw at
+least one retransmission, with its path known from an active traceroute,
+adds a vote of ``1/h`` to each of the ``h`` links on its path.  Links
+are then ranked by total votes and the top-scoring links are blamed.
+
+007 consumes only exact-path flagged flows (input type A2 in the paper)
+and has a single hyperparameter - here the fraction ``tau`` of the
+maximum score a link must reach to be reported, which is what the
+paper's calibration sweeps (section 5.2: "007 has 1 [parameter]").
+
+007 is link-level: it never predicts device components, and it ignores
+path-uncertain passive flows ("NetBouncer and 007 cannot trivially
+ingest the passive telemetry as they do not model path uncertainty").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import InferenceError
+from ..types import Prediction
+from .base import exact_flow_view
+
+
+class Vote007:
+    """007-style link voting."""
+
+    name = "007"
+
+    def __init__(self, threshold: float = 0.7) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise InferenceError("threshold must be in (0, 1]")
+        self._threshold = threshold
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    def localize(self, problem) -> Prediction:
+        votes: Dict[int, float] = {}
+        for flow in exact_flow_view(problem):
+            if flow.bad_packets < 1:
+                continue
+            links = [c for c in flow.components if c < problem.n_links]
+            if not links:
+                continue
+            share = flow.weight / len(links)
+            for link in links:
+                votes[link] = votes.get(link, 0.0) + share
+        if not votes:
+            return Prediction.empty()
+        max_score = max(votes.values())
+        if max_score <= 0.0:
+            return Prediction.empty()
+        cutoff = self._threshold * max_score
+        predicted = frozenset(
+            link for link, score in votes.items() if score >= cutoff
+        )
+        return Prediction(components=predicted, scores=votes)

@@ -1,0 +1,35 @@
+"""Shared helpers for the non-PGM baselines.
+
+007 and NetBouncer operate on exact-path flows only; this module gives
+them a small, uniform view of those flows so each algorithm file stays
+focused on its own math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..core.problem import InferenceProblem
+
+
+@dataclass(frozen=True)
+class ExactFlow:
+    """One exact-path (grouped) flow: its components and counters."""
+
+    components: Tuple[int, ...]
+    bad_packets: int
+    packets_sent: int
+    weight: int
+
+
+def exact_flow_view(problem: InferenceProblem) -> Iterator[ExactFlow]:
+    """Iterate the exact-path flows of a problem as :class:`ExactFlow`."""
+    for flow in problem.exact_flow_indices():
+        pid = problem.flow_paths[flow][0]
+        yield ExactFlow(
+            components=problem.path_table.components(pid),
+            bad_packets=int(problem.bad_packets[flow]),
+            packets_sent=int(problem.packets_sent[flow]),
+            weight=int(problem.weights[flow]),
+        )

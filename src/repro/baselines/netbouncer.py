@@ -1,0 +1,174 @@
+"""NetBouncer baseline (Tan et al., NSDI 2019) - Figure 5 of that paper.
+
+NetBouncer solves for per-link *success* probabilities ``x_l`` from
+per-path success ratios ``y_p`` by minimizing the regularized least
+squares objective
+
+    sum_p (y_p - prod_{l in p} x_l)^2  +  lam * sum_l x_l (1 - x_l)
+
+via coordinate descent: fixing all other coordinates, the objective is a
+quadratic in ``x_l`` with the closed-form minimizer
+
+    x_l = ( sum_p y_p q_p - lam/2 ) / ( sum_p q_p^2 - lam ),
+    q_p = prod_{l' in p, l' != l} x_{l'}
+
+clipped to [0, 1].  The ``x(1-x)`` term pushes coordinates toward {0,1},
+which is NetBouncer's noise-suppression trick.
+
+A link is reported failed when its estimated drop rate ``1 - x_l``
+exceeds ``drop_threshold``; a device is reported failed when at least a
+``device_frac`` fraction of its observed links failed (the paper
+calibrates "NetBouncer's threshold for the number of problematic flows
+crossing a device" for the device-failure experiment).  Those three
+knobs match the paper's "NetBouncer has 3 [parameters]".
+
+Like 007, NetBouncer consumes exact-path flows only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import InferenceError
+from ..types import Prediction
+from .base import exact_flow_view
+
+
+class NetBouncer:
+    """NetBouncer's regularized least-squares link estimator."""
+
+    name = "netbouncer"
+
+    def __init__(
+        self,
+        regularization: float = 0.005,
+        drop_threshold: float = 3e-3,
+        device_frac: float = 0.5,
+        max_sweeps: int = 50,
+        tol: float = 1e-9,
+    ) -> None:
+        if regularization < 0.0:
+            raise InferenceError("regularization must be non-negative")
+        if not 0.0 < drop_threshold < 1.0:
+            raise InferenceError("drop_threshold must be in (0, 1)")
+        if not 0.0 < device_frac <= 1.0:
+            raise InferenceError("device_frac must be in (0, 1]")
+        if max_sweeps < 1:
+            raise InferenceError("max_sweeps must be >= 1")
+        self._lam = regularization
+        self._drop_threshold = drop_threshold
+        self._device_frac = device_frac
+        self._max_sweeps = max_sweeps
+        self._tol = tol
+
+    # ------------------------------------------------------------------
+    def localize(self, problem) -> Prediction:
+        # Aggregate exact flows into per-(link-)path success ratios; the
+        # path's device components are remembered for the device rule.
+        path_stats: Dict[Tuple[int, ...], List[int]] = {}
+        for flow in exact_flow_view(problem):
+            links = tuple(c for c in flow.components if c < problem.n_links)
+            if not links or flow.packets_sent == 0:
+                continue
+            entry = path_stats.setdefault(links, [0, 0])
+            entry[0] += flow.weight * (flow.packets_sent - flow.bad_packets)
+            entry[1] += flow.weight * flow.packets_sent
+        if not path_stats:
+            return Prediction.empty()
+
+        paths = list(path_stats)
+        y = np.asarray(
+            [good / total for good, total in (path_stats[p] for p in paths)]
+        )
+        links = sorted({link for path in paths for link in path})
+        link_index = {link: i for i, link in enumerate(links)}
+        paths_idx = [
+            np.asarray([link_index[l] for l in path], dtype=np.int64)
+            for path in paths
+        ]
+        paths_of_link: Dict[int, List[int]] = {i: [] for i in range(len(links))}
+        for p, idxs in enumerate(paths_idx):
+            for i in idxs:
+                paths_of_link[int(i)].append(p)
+
+        x = np.ones(len(links))
+        lam = self._lam
+        for _ in range(self._max_sweeps):
+            max_move = 0.0
+            for li in range(len(links)):
+                member_paths = paths_of_link[li]
+                if not member_paths:
+                    continue
+                num = -lam / 2.0
+                den = -lam
+                for p in member_paths:
+                    idxs = paths_idx[p]
+                    q = 1.0
+                    for j in idxs:
+                        if int(j) != li:
+                            q *= x[j]
+                    num += y[p] * q
+                    den += q * q
+                if den > 1e-12:
+                    new = min(1.0, max(0.0, num / den))
+                elif den < -1e-12:
+                    # Regularizer dominates: the quadratic is concave, so
+                    # the minimum is at a boundary; pick the better one.
+                    new = self._boundary_min(li, paths_idx, paths_of_link, y, x)
+                else:
+                    continue
+                max_move = max(max_move, abs(new - x[li]))
+                x[li] = new
+            if max_move < self._tol:
+                break
+
+        drop = 1.0 - x
+        failed_links = frozenset(
+            links[i] for i in range(len(links)) if drop[i] > self._drop_threshold
+        )
+
+        # Device rule: blame a device when enough of its observed links
+        # failed.  Observed links per device come from the problem's
+        # component indexes.
+        predicted = set(failed_links)
+        for device, flows in problem.flows_by_comp.items():
+            if device < problem.n_links:
+                continue
+            observed_links: set = set()
+            for flow in flows:
+                for pid in problem.flow_paths[flow]:
+                    comps = problem.path_table.components(pid)
+                    if device in comps:
+                        observed_links.update(
+                            c for c in comps if c < problem.n_links
+                        )
+            if not observed_links:
+                continue
+            failed_here = observed_links & failed_links
+            if len(failed_here) / len(observed_links) >= self._device_frac:
+                predicted.add(device)
+
+        scores = {links[i]: float(drop[i]) for i in range(len(links))}
+        return Prediction(components=frozenset(predicted), scores=scores)
+
+    def _boundary_min(self, li, paths_idx, paths_of_link, y, x) -> float:
+        """Evaluate the per-coordinate objective at x_l in {0, 1}."""
+        best_val = None
+        best_x = 1.0
+        for candidate in (0.0, 1.0):
+            val = 0.0
+            for p in paths_of_link[li]:
+                idxs = paths_idx[p]
+                q = 1.0
+                for j in idxs:
+                    if int(j) != li:
+                        q *= x[j]
+                resid = y[p] - candidate * q
+                val += resid * resid
+            val += self._lam * candidate * (1.0 - candidate)
+            if best_val is None or val < best_val:
+                best_val = val
+                best_x = candidate
+        return best_x

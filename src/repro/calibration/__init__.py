@@ -1,0 +1,29 @@
+"""Automated hyperparameter calibration (paper section 5.2)."""
+
+from .defaults import (
+    FLOCK_GRID,
+    FLOCK_PER_FLOW_GRID,
+    NETBOUNCER_GRID,
+    VOTE007_GRID,
+    flock_factory,
+    netbouncer_factory,
+    vote007_factory,
+)
+from .grid import CalibrationPoint, calibrate, iter_grid
+from .select import best_at_precision, choose_operating_point, pareto_front
+
+__all__ = [
+    "CalibrationPoint",
+    "calibrate",
+    "iter_grid",
+    "best_at_precision",
+    "choose_operating_point",
+    "pareto_front",
+    "FLOCK_GRID",
+    "FLOCK_PER_FLOW_GRID",
+    "NETBOUNCER_GRID",
+    "VOTE007_GRID",
+    "flock_factory",
+    "netbouncer_factory",
+    "vote007_factory",
+]

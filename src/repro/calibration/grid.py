@@ -1,0 +1,78 @@
+"""Hyperparameter grid search over training traces (paper section 5.2).
+
+"For each hyperparameter, we choose equally-spaced values in a
+reasonable range of possible values ... We use a training set of
+monitoring data to search for the parameter settings that obtain the
+best precision and recall in the training set."
+
+:func:`calibrate` runs a scheme factory over the cartesian product of a
+parameter grid, evaluating each setting on the same training traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from ..errors import CalibrationError
+from ..telemetry.inputs import TelemetryConfig
+from ..eval.harness import SchemeSetup, evaluate
+from ..eval.scenarios import Trace
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One grid setting and its training-set accuracy."""
+
+    params: Mapping[str, float]
+    precision: float
+    recall: float
+
+    @property
+    def fscore(self) -> float:
+        if self.precision + self.recall <= 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def iter_grid(grid: Mapping[str, Sequence]) -> List[Dict]:
+    """Expand a {name: values} grid into a list of parameter dicts."""
+    if not grid:
+        raise CalibrationError("parameter grid is empty")
+    names = sorted(grid)
+    for name in names:
+        if not len(grid[name]):
+            raise CalibrationError(f"grid for {name!r} has no values")
+    return [
+        dict(zip(names, combo)) for combo in product(*(grid[n] for n in names))
+    ]
+
+
+def calibrate(
+    scheme_factory: Callable[..., object],
+    grid: Mapping[str, Sequence],
+    traces: Sequence[Trace],
+    telemetry: TelemetryConfig,
+    name: str = "candidate",
+) -> List[CalibrationPoint]:
+    """Evaluate every grid setting on the training traces.
+
+    ``scheme_factory(**params)`` must return a localizer.  Returns one
+    :class:`CalibrationPoint` per setting, in grid order.
+    """
+    if not traces:
+        raise CalibrationError("calibration needs at least one training trace")
+    points: List[CalibrationPoint] = []
+    for params in iter_grid(grid):
+        localizer = scheme_factory(**params)
+        setup = SchemeSetup(name=name, localizer=localizer, telemetry=telemetry)
+        summary = evaluate(setup, traces)
+        points.append(
+            CalibrationPoint(
+                params=params,
+                precision=summary.accuracy.precision,
+                recall=summary.accuracy.recall,
+            )
+        )
+    return points

@@ -1,0 +1,72 @@
+"""Operating-point selection (paper section 5.2).
+
+"We fix a minimum precision P and find the parameters which, in a
+training set, yielded highest recall and had precision > P.  Varying P
+produces a set of parameters that are Pareto-optimal along the
+precision/recall tradeoff curve.
+
+To choose a single parameter setting ... we set P = 98% and find the
+setting that maximizes recall (in the training set); if no such point
+exists or recall is too low (< 25%), then we subtract 5% from P and try
+again, repeating until a setting is found.  This method lays more
+emphasis on precision."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import CalibrationError
+from .grid import CalibrationPoint
+
+
+def best_at_precision(
+    points: Sequence[CalibrationPoint], precision_floor: float
+) -> Optional[CalibrationPoint]:
+    """Highest-recall point with precision above the floor (or None)."""
+    eligible = [p for p in points if p.precision >= precision_floor]
+    if not eligible:
+        return None
+    return max(eligible, key=lambda p: (p.recall, p.precision))
+
+
+def pareto_front(points: Sequence[CalibrationPoint]) -> List[CalibrationPoint]:
+    """Points not dominated in (precision, recall), sorted by precision."""
+    front: List[CalibrationPoint] = []
+    for p in points:
+        dominated = any(
+            (q.precision >= p.precision and q.recall >= p.recall)
+            and (q.precision > p.precision or q.recall > p.recall)
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    # De-duplicate identical accuracy points, keep the first of each.
+    seen = set()
+    unique = []
+    for p in sorted(front, key=lambda q: (-q.precision, -q.recall)):
+        key = (round(p.precision, 12), round(p.recall, 12))
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def choose_operating_point(
+    points: Sequence[CalibrationPoint],
+    start_precision: float = 0.98,
+    min_recall: float = 0.25,
+    step: float = 0.05,
+) -> CalibrationPoint:
+    """The paper's single-setting rule: P=98%, relax by 5% until found."""
+    if not points:
+        raise CalibrationError("no calibration points to choose from")
+    floor = start_precision
+    while floor > 0.0:
+        best = best_at_precision(points, floor)
+        if best is not None and best.recall >= min_recall:
+            return best
+        floor -= step
+    # Nothing clears the recall bar at any precision; fall back to the
+    # best F-score so the caller still gets a usable setting.
+    return max(points, key=lambda p: p.fscore)

@@ -1,0 +1,98 @@
+"""Command-line experiment runner: ``repro-flock`` / ``python -m repro``.
+
+Examples::
+
+    repro-flock list
+    repro-flock run fig2 --preset ci
+    repro-flock run fig4c --preset paper --seed 3
+    repro-flock run all --preset ci
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .eval import experiments
+from .eval.reporting import print_result
+
+#: Experiment registry: name -> callable(preset, seed) -> ExperimentResult.
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig2": experiments.fig2_tradeoff,
+    "fig2c": experiments.fig2c_device_failures,
+    "fig3": experiments.fig3_snr,
+    "fig4a": experiments.fig4a_queue_misconfig,
+    "fig4b": experiments.fig4b_link_flap,
+    "fig4c": experiments.fig4c_runtime,
+    "fig4d": experiments.fig4d_scheme_runtime,
+    "fig5": experiments.fig5_irregular,
+    "fig5c": experiments.fig5c_passive_hard,
+    "table1": experiments.table1_robustness,
+    "fig8a": experiments.fig8a_sensitivity,
+    "fig8b": experiments.fig8b_priors,
+    "scan-rate": experiments.scan_rate,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-flock",
+        description="Flock (CoNEXT 2023) reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all", "fig6"])
+    run.add_argument("--preset", choices=experiments.PRESETS, default="ci")
+    run.add_argument("--seed", type=int, default=None)
+
+    dataset = sub.add_parser(
+        "dataset", help="generate the six-scenario telemetry dataset"
+    )
+    dataset.add_argument("output_dir")
+    dataset.add_argument("--seed", type=int, default=2023)
+    dataset.add_argument("--flows", type=int, default=4000)
+    dataset.add_argument("--probes", type=int, default=600)
+    return parser
+
+
+def _run_one(name: str, preset: str, seed) -> None:
+    if name == "fig6":
+        print_result(experiments.fig6_worked_example())
+        return
+    func = EXPERIMENTS[name]
+    kwargs = {"preset": preset}
+    if seed is not None:
+        kwargs["seed"] = seed
+    print_result(func(**kwargs))
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "dataset":
+        from .eval.dataset import generate_suite
+
+        paths = generate_suite(
+            args.output_dir, seed=args.seed,
+            n_passive=args.flows, n_probes=args.probes,
+        )
+        for path in paths:
+            print(path)
+        return 0
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS) + ["fig6"]:
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name in sorted(EXPERIMENTS) + ["fig6"]:
+            _run_one(name, args.preset, args.seed)
+        return 0
+    _run_one(args.experiment, args.preset, args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Flock model hyperparameters (paper sections 3.2 and 5.2).
+
+Flock has three hyperparameters:
+
+``pg``
+    Probability of a packet experiencing a problem on a *good* path
+    (no failed component) - models benign/congestion loss.
+``pb``
+    Probability of a packet experiencing a problem on a *bad* path
+    (at least one failed component).  ``pb >> pg``.
+``rho``
+    A-priori failure probability of a link.  "The priors reduce the
+    false positive rate by effectively assigning a lower prior to
+    hypotheses with more links."
+
+Devices get "a device prior that is 5x larger on log-scale" - i.e.
+``log rho_device = 5 * log rho`` (``rho_device = rho**5``), forcing Flock
+"to detect a device failure only when there is stronger evidence for it
+than a link failure".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import InferenceError
+
+
+@dataclass(frozen=True)
+class FlockParams:
+    """Hyperparameters of Flock's PGM."""
+
+    pg: float = 7e-4
+    pb: float = 6e-3
+    rho: float = 1e-4
+    rho_device: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.pg < 1.0:
+            raise InferenceError(f"pg must be in (0, 1), got {self.pg}")
+        if not 0.0 < self.pb < 1.0:
+            raise InferenceError(f"pb must be in (0, 1), got {self.pb}")
+        if self.pb <= self.pg:
+            raise InferenceError(
+                f"pb must exceed pg (bad paths lose more packets), "
+                f"got pg={self.pg}, pb={self.pb}"
+            )
+        if not 0.0 < self.rho < 0.5:
+            raise InferenceError(f"rho must be in (0, 0.5), got {self.rho}")
+        if self.rho_device is None:
+            object.__setattr__(self, "rho_device", self.rho ** 5)
+        elif not 0.0 < self.rho_device < 0.5:
+            raise InferenceError("rho_device must be in (0, 0.5)")
+
+    @property
+    def link_prior_gain(self) -> float:
+        """Log-likelihood change of adding one failed link: ln(rho/(1-rho))."""
+        return math.log(self.rho) - math.log1p(-self.rho)
+
+    @property
+    def device_prior_gain(self) -> float:
+        """Log-likelihood change of adding one failed device."""
+        return math.log(self.rho_device) - math.log1p(-self.rho_device)
+
+    def prior_gain(self, is_device: bool) -> float:
+        return self.device_prior_gain if is_device else self.link_prior_gain
+
+
+#: Calibrated defaults for the per-packet (retransmission) analysis, in the
+#: regime of the paper's simulations: good links drop <= 0.01%, failed links
+#: drop 0.1%-1%.  pg = 7e-4 matches Theorem 2's guidance pg >= k*p* with
+#: path length k ~ 7 and per-link benign rate p* <= 1e-4.
+DEFAULT_PER_PACKET = FlockParams(pg=7e-4, pb=6e-3, rho=1e-4)
+
+#: Calibrated defaults for the per-flow (RTT threshold) analysis used in the
+#: link-flap scenario: a "bad packet" is one flow whose RTT spiked, which
+#: happens rarely on healthy paths and almost surely across a flapping link.
+DEFAULT_PER_FLOW = FlockParams(pg=4e-3, pb=0.5, rho=5e-4)

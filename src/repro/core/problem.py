@@ -1,0 +1,188 @@
+"""The shared inference-problem representation.
+
+Every localization scheme consumes an :class:`InferenceProblem` built
+from a list of :class:`~repro.types.FlowObservation`.  The construction
+
+* interns distinct component-paths and path sets (datacenter traces have
+  millions of flows over thousands of distinct paths),
+* groups identical observations - same path set, same (r, t), same
+  analysis - into one weighted flow, which preserves every scheme's
+  output exactly (log likelihoods, votes and least-squares terms are all
+  additive) while shrinking the working set dramatically, and
+* builds the inverted indexes (component -> flows, component -> paths)
+  that JLE's update rule walks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InferenceError
+from ..routing.paths import PathTable
+from ..types import FlowObservation, TelemetryKind
+
+
+class InferenceProblem:
+    """Immutable, indexed view of a telemetry snapshot.
+
+    Attributes
+    ----------
+    n_components:
+        Size of the component id space (``topology.n_components``).
+    n_links:
+        Boundary between link ids and device ids.
+    flow_paths:
+        Per (grouped) flow: tuple of interned path ids, with multiplicity
+        (``w`` = its length; a path id may repeat when two ECMP node
+        paths map to the same component set).
+    bad_packets / packets_sent / weights:
+        Aligned int arrays: ``r``, ``t`` and the group multiplicity.
+    exact:
+        Aligned bool array: True when the flow's path is known exactly.
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        n_links: int,
+        path_table: PathTable,
+        flow_paths: List[Tuple[int, ...]],
+        bad_packets: np.ndarray,
+        packets_sent: np.ndarray,
+        weights: np.ndarray,
+        exact: np.ndarray,
+        kinds: List[TelemetryKind],
+    ) -> None:
+        self.n_components = n_components
+        self.n_links = n_links
+        self.path_table = path_table
+        self.flow_paths = flow_paths
+        self.bad_packets = bad_packets
+        self.packets_sent = packets_sent
+        self.weights = weights
+        self.exact = exact
+        self.kinds = kinds
+
+        self.path_component_sets: List[FrozenSet[int]] = [
+            frozenset(comps) for comps in path_table
+        ]
+        self._build_indexes()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_observations(
+        cls,
+        observations: Sequence[FlowObservation],
+        n_components: int,
+        n_links: int,
+    ) -> "InferenceProblem":
+        if n_links > n_components:
+            raise InferenceError("n_links cannot exceed n_components")
+        path_table = PathTable()
+        grouped: Dict[Tuple, List] = {}
+        for obs in observations:
+            path_ids = tuple(path_table.intern(p) for p in obs.path_set)
+            for path in obs.path_set:
+                for comp in path:
+                    if not 0 <= comp < n_components:
+                        raise InferenceError(
+                            f"component id {comp} outside [0, {n_components})"
+                        )
+            key = (path_ids, obs.bad_packets, obs.packets_sent, obs.kind)
+            entry = grouped.get(key)
+            if entry is None:
+                grouped[key] = [1]
+            else:
+                entry[0] += 1
+
+        flow_paths: List[Tuple[int, ...]] = []
+        bad: List[int] = []
+        sent: List[int] = []
+        weights: List[int] = []
+        exact: List[bool] = []
+        kinds: List[TelemetryKind] = []
+        for (path_ids, r, t, kind), (count,) in grouped.items():
+            flow_paths.append(path_ids)
+            bad.append(r)
+            sent.append(t)
+            weights.append(count)
+            exact.append(len(path_ids) == 1)
+            kinds.append(kind)
+        return cls(
+            n_components=n_components,
+            n_links=n_links,
+            path_table=path_table,
+            flow_paths=flow_paths,
+            bad_packets=np.asarray(bad, dtype=np.int64),
+            packets_sent=np.asarray(sent, dtype=np.int64),
+            weights=np.asarray(weights, dtype=np.int64),
+            exact=np.asarray(exact, dtype=bool),
+            kinds=kinds,
+        )
+
+    def _build_indexes(self) -> None:
+        flows_by_comp: Dict[int, List[int]] = {}
+        paths_by_comp: Dict[int, List[int]] = {}
+        comps_by_flow: List[Tuple[int, ...]] = []
+        for pid, comps in enumerate(self.path_table):
+            for comp in comps:
+                paths_by_comp.setdefault(comp, []).append(pid)
+        for flow, path_ids in enumerate(self.flow_paths):
+            union: set = set()
+            for pid in path_ids:
+                union.update(self.path_table.components(pid))
+            comps_by_flow.append(tuple(sorted(union)))
+            for comp in union:
+                flows_by_comp.setdefault(comp, []).append(flow)
+        self.flows_by_comp: Dict[int, List[int]] = flows_by_comp
+        self.paths_by_comp: Dict[int, List[int]] = paths_by_comp
+        self.comps_by_flow: List[Tuple[int, ...]] = comps_by_flow
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_flows(self) -> int:
+        """Number of grouped flows."""
+        return len(self.flow_paths)
+
+    @property
+    def total_flows(self) -> int:
+        """Number of underlying observations (sum of group weights)."""
+        return int(self.weights.sum())
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.path_table)
+
+    def is_device(self, comp: int) -> bool:
+        return comp >= self.n_links
+
+    @property
+    def observed_components(self) -> Tuple[int, ...]:
+        """Components that at least one flow can blame."""
+        return tuple(sorted(self.flows_by_comp))
+
+    def exact_flow_indices(self) -> np.ndarray:
+        """Indices of flows whose path is known exactly.
+
+        007 and NetBouncer only consume these: their published algorithms
+        have no notion of path uncertainty (paper section 6.2).
+        """
+        return np.nonzero(self.exact)[0]
+
+    def flow_pathset_size(self, flow: int) -> int:
+        return len(self.flow_paths[flow])
+
+    def describe(self) -> str:
+        """One-line summary, handy in logs and experiment reports."""
+        return (
+            f"InferenceProblem(flows={self.total_flows} grouped to "
+            f"{self.n_flows}, paths={self.n_paths}, "
+            f"components={len(self.flows_by_comp)} observed of "
+            f"{self.n_components})"
+        )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Flock reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  The subclasses
+mirror the major subsystems (topology, routing, telemetry, inference,
+calibration) so that failures can be routed to the right owner quickly.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or an operation referenced a missing element."""
+
+
+class RoutingError(ReproError):
+    """No valid path exists, or a routing query was malformed."""
+
+
+class TrafficError(ReproError):
+    """Traffic/probe generation was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The fault-injection simulator was misconfigured."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry encoding, decoding, or transport failed."""
+
+
+class CodecError(TelemetryError):
+    """A wire message could not be encoded or decoded."""
+
+
+class InferenceError(ReproError):
+    """An inference algorithm received invalid input or reached a bad state."""
+
+
+class CalibrationError(ReproError):
+    """Hyperparameter calibration could not produce a valid setting."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition is inconsistent or produced no data."""

@@ -1,0 +1,46 @@
+"""Evaluation layer: metrics, traces, harness, per-figure experiments."""
+
+from .dataset import generate_suite, load_trace, save_trace
+from .harness import (
+    EvalSummary,
+    SchemeSetup,
+    TraceResult,
+    build_problem,
+    evaluate,
+    evaluate_many,
+    run_on_trace,
+)
+from .metrics import (
+    AggregateMetrics,
+    TraceMetrics,
+    aggregate,
+    error_reduction,
+    evaluate_prediction,
+    fscore,
+)
+from .scenarios import SKEWED, UNIFORM, Trace, make_matrix, make_trace, make_trace_batch
+
+__all__ = [
+    "generate_suite",
+    "save_trace",
+    "load_trace",
+    "SchemeSetup",
+    "TraceResult",
+    "EvalSummary",
+    "build_problem",
+    "run_on_trace",
+    "evaluate",
+    "evaluate_many",
+    "TraceMetrics",
+    "AggregateMetrics",
+    "aggregate",
+    "evaluate_prediction",
+    "fscore",
+    "error_reduction",
+    "Trace",
+    "make_trace",
+    "make_trace_batch",
+    "make_matrix",
+    "UNIFORM",
+    "SKEWED",
+]

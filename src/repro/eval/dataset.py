@@ -1,0 +1,198 @@
+"""Trace serialization and the open evaluation-suite dataset.
+
+The paper's third contribution is "an open evaluation suite for fault
+localization, which includes ... telemetry data for six different fault
+scenarios from a simulated data center and a hardware testbed".  This
+module serializes traces to a portable JSON format (topology + ground
+truth + flow records) and generates that six-scenario dataset, so other
+fault-localization projects can consume the same inputs without running
+this package's simulator.
+
+Format (one JSON document per trace):
+
+```
+{
+  "format": "flock-trace-v1",
+  "topology": {"names": [...], "roles": [...], "links": [[u, v], ...]},
+  "ground_truth": {"failed_links": [...], "failed_devices": [...],
+                    "drop_rates": {"<link>": rate, ...}},
+  "analysis": "per_packet" | "per_flow",
+  "meta": {...},
+  "records": [[src, dst, sent, bad, rtt_us, is_probe, [path...]], ...]
+}
+```
+
+Records are compact positional arrays; RTT is stored in integer
+microseconds (the same quantization as the wire codec).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..errors import ExperimentError
+from ..routing.ecmp import EcmpRouting
+from ..simulation.droprate import DropRatePlan
+from ..simulation.failures import (
+    Injection,
+    LinkFlap,
+    NoFailure,
+    QueueMisconfig,
+    SilentDeviceFailure,
+    SilentLinkDrops,
+)
+from ..topology.base import Topology
+from ..topology.clos import three_tier_clos
+from ..topology.leafspine import testbed
+from ..types import FlowRecord, GroundTruth
+from .scenarios import SKEWED, UNIFORM, Trace, make_trace
+
+FORMAT_TAG = "flock-trace-v1"
+
+
+def trace_to_dict(trace: Trace) -> Dict:
+    """Serialize a trace (topology, ground truth, records) to a dict."""
+    topo = trace.topology
+    truth = trace.ground_truth
+    return {
+        "format": FORMAT_TAG,
+        "topology": {
+            "names": list(topo.names),
+            "roles": list(topo.roles),
+            "links": [list(pair) for pair in topo.links],
+        },
+        "ground_truth": {
+            "failed_links": sorted(truth.failed_links),
+            "failed_devices": sorted(truth.failed_devices),
+            "drop_rates": {str(k): v for k, v in truth.drop_rates.items()},
+        },
+        "analysis": trace.injection.analysis,
+        "seed": trace.seed,
+        "meta": dict(trace.meta),
+        "records": [
+            [
+                r.src, r.dst, r.packets_sent, r.bad_packets,
+                int(round(r.rtt_ms * 1000.0)), int(r.is_probe),
+                list(r.path),
+            ]
+            for r in trace.records
+        ],
+    }
+
+
+def trace_from_dict(payload: Dict) -> Trace:
+    """Rebuild a trace from its serialized form.
+
+    The reconstructed ``Injection`` carries the ground truth and
+    analysis mode; the drop-rate plan is restored from the recorded
+    per-link rates (healthy links read back as rate 0, which is fine -
+    consumers of a dataset never re-simulate it).
+    """
+    if payload.get("format") != FORMAT_TAG:
+        raise ExperimentError(
+            f"not a {FORMAT_TAG} document: format={payload.get('format')!r}"
+        )
+    topo_spec = payload["topology"]
+    topology = Topology(
+        names=topo_spec["names"],
+        roles=topo_spec["roles"],
+        links=[tuple(pair) for pair in topo_spec["links"]],
+    )
+    truth_spec = payload["ground_truth"]
+    truth = GroundTruth(
+        failed_links=frozenset(truth_spec["failed_links"]),
+        failed_devices=frozenset(truth_spec["failed_devices"]),
+        drop_rates={int(k): v for k, v in truth_spec["drop_rates"].items()},
+    )
+    import numpy as np
+
+    rates = np.zeros(topology.n_links)
+    for link, rate in truth.drop_rates.items():
+        rates[link] = rate
+    injection = Injection(
+        ground_truth=truth,
+        plan=DropRatePlan(topology, rates),
+        analysis=payload.get("analysis", "per_packet"),
+    )
+    records = [
+        FlowRecord(
+            src=src, dst=dst, packets_sent=sent, bad_packets=bad,
+            rtt_ms=rtt_us / 1000.0, is_probe=bool(probe), path=tuple(path),
+        )
+        for src, dst, sent, bad, rtt_us, probe, path in payload["records"]
+    ]
+    return Trace(
+        topology=topology,
+        routing=EcmpRouting(topology),
+        injection=injection,
+        records=records,
+        seed=payload.get("seed", 0),
+        meta=payload.get("meta", {}),
+    )
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write a trace to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(trace_to_dict(trace), handle)
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace from a JSON file."""
+    with Path(path).open() as handle:
+        return trace_from_dict(json.load(handle))
+
+
+def generate_suite(
+    output_dir: Union[str, Path],
+    seed: int = 2023,
+    n_passive: int = 4000,
+    n_probes: int = 600,
+) -> List[Path]:
+    """Generate the paper's six-scenario telemetry dataset.
+
+    Scenarios (section 6.4 + the healthy control):
+
+    1. silent link drops, uniform traffic (simulated Clos)
+    2. silent link drops, skewed traffic (simulated Clos)
+    3. silent device failure (simulated Clos)
+    4. misconfigured WRED queue (testbed leaf-spine)
+    5. link flap / latency, per-flow analysis (testbed leaf-spine)
+    6. no failure (false-positive control)
+    """
+    output_dir = Path(output_dir)
+    clos = three_tier_clos(
+        pods=4, tors_per_pod=4, aggs_per_pod=2,
+        core_groups=2, cores_per_group=2, hosts_per_tor=3,
+    )
+    clos_routing = EcmpRouting(clos)
+    lab = testbed()
+    lab_routing = EcmpRouting(lab)
+
+    recipes = [
+        ("01_silent_drops_uniform", clos, clos_routing,
+         SilentLinkDrops(n_failures=3), UNIFORM, n_probes),
+        ("02_silent_drops_skewed", clos, clos_routing,
+         SilentLinkDrops(n_failures=3), SKEWED, n_probes),
+        ("03_device_failure", clos, clos_routing,
+         SilentDeviceFailure(n_devices=1), UNIFORM, n_probes),
+        ("04_queue_misconfig", lab, lab_routing,
+         QueueMisconfig(n_links=1), UNIFORM, 0),
+        ("05_link_flap", lab, lab_routing,
+         LinkFlap(n_links=1), UNIFORM, 0),
+        ("06_no_failure", clos, clos_routing,
+         NoFailure(), UNIFORM, n_probes),
+    ]
+    paths: List[Path] = []
+    for i, (name, topo, routing, scenario, traffic, probes) in enumerate(recipes):
+        trace = make_trace(
+            topo, routing, scenario, seed=seed + i,
+            n_passive=n_passive, n_probes=probes, traffic=traffic,
+        )
+        paths.append(save_trace(trace, output_dir / f"{name}.json"))
+    return paths

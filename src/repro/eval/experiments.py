@@ -1,0 +1,967 @@
+"""Experiment definitions: one function per figure/table of the paper.
+
+Every function returns an :class:`ExperimentResult` whose ``rows`` are
+plain dicts (easy to tabulate, assert on, or dump).  Each experiment has
+two presets:
+
+* ``"ci"`` - scaled-down sizes that run in seconds on one machine, used
+  by the benchmark suite.  The flows-per-link ratio matches the paper's
+  setup so accuracy trends are preserved.
+* ``"paper"`` - sizes close to the paper's simulations, reachable via
+  the CLI for long runs.
+
+The paper-reported numbers each experiment should be compared against
+are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from itertools import combinations
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.b007 import Vote007
+from ..baselines.netbouncer import NetBouncer
+from ..baselines.sherlock import SherlockFerret
+from ..calibration.defaults import (
+    flock_factory,
+    netbouncer_factory,
+    vote007_factory,
+)
+from ..calibration.grid import calibrate
+from ..calibration.select import choose_operating_point
+from ..core.flock import FlockInference
+from ..core.greedy_nojle import GreedyWithoutJle
+from ..core.model import LikelihoodModel
+from ..core.params import DEFAULT_PER_FLOW, DEFAULT_PER_PACKET, FlockParams
+from ..core.problem import InferenceProblem
+from ..errors import ExperimentError
+from ..routing.ecmp import EcmpRouting
+from ..simulation.failures import (
+    LinkFlap,
+    QueueMisconfig,
+    SilentDeviceFailure,
+    SilentLinkDrops,
+)
+from ..telemetry.inputs import TelemetryConfig
+from ..topology import (
+    Topology,
+    fat_tree,
+    link_equivalence_classes,
+    omit_random_links,
+    paper_simulation_clos,
+    testbed,
+    theoretical_max_precision,
+    three_tier_clos,
+)
+from ..types import FlowObservation, TelemetryKind
+from .harness import SchemeSetup, build_problem, evaluate, run_on_trace
+from .metrics import fscore
+from .scenarios import SKEWED, UNIFORM, Trace, make_trace, make_trace_batch
+
+PRESETS = ("ci", "paper")
+
+#: Default calibrated baseline settings (chosen by the section 5.2 rule on
+#: this repo's standard training environment; see bench_table1_robustness).
+DEFAULT_NETBOUNCER = dict(regularization=0.005, drop_threshold=3e-3, device_frac=0.5)
+DEFAULT_007 = dict(threshold=0.6)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus provenance for one experiment."""
+
+    experiment: str
+    description: str
+    rows: List[Dict] = field(default_factory=list)
+    notes: str = ""
+
+    def series(self, **filters) -> List[Dict]:
+        """Rows matching all the given column=value filters."""
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in filters.items()):
+                out.append(row)
+        return out
+
+
+def _check_preset(preset: str) -> None:
+    if preset not in PRESETS:
+        raise ExperimentError(f"preset must be one of {PRESETS}, got {preset!r}")
+
+
+# ----------------------------------------------------------------------
+# Shared topology/scale configuration
+# ----------------------------------------------------------------------
+
+
+def standard_topology(preset: str) -> Topology:
+    """The silent-drop simulation fabric (paper: 2500-link 3-tier Clos)."""
+    _check_preset(preset)
+    if preset == "paper":
+        return paper_simulation_clos()
+    return three_tier_clos(
+        pods=4, tors_per_pod=4, aggs_per_pod=2,
+        core_groups=2, cores_per_group=2, hosts_per_tor=3,
+    )
+
+
+def _scale(preset: str) -> Dict[str, int]:
+    """Flow/probe/trace counts; CI keeps the paper's flows-per-link ratio."""
+    if preset == "paper":
+        return {"n_passive": 400_000, "n_probes": 20_000, "n_traces": 16}
+    return {"n_passive": 4_000, "n_probes": 600, "n_traces": 6}
+
+
+def flock_setup(
+    spec: str,
+    params: FlockParams = DEFAULT_PER_PACKET,
+    name: str = "Flock",
+    **telemetry_kwargs,
+) -> SchemeSetup:
+    return SchemeSetup(
+        name=name,
+        localizer=FlockInference(params),
+        telemetry=TelemetryConfig.from_spec(spec, **telemetry_kwargs),
+    )
+
+
+def netbouncer_setup(spec: str, **overrides) -> SchemeSetup:
+    args = dict(DEFAULT_NETBOUNCER)
+    args.update(overrides)
+    return SchemeSetup(
+        name="NetBouncer",
+        localizer=NetBouncer(**args),
+        telemetry=TelemetryConfig.from_spec(spec),
+    )
+
+
+def v007_setup(spec: str = "A2", **overrides) -> SchemeSetup:
+    args = dict(DEFAULT_007)
+    args.update(overrides)
+    return SchemeSetup(
+        name="007",
+        localizer=Vote007(**args),
+        telemetry=TelemetryConfig.from_spec(spec),
+    )
+
+
+def standard_scheme_suite(params: FlockParams = DEFAULT_PER_PACKET) -> List[SchemeSetup]:
+    """The Fig. 2 scheme x input grid."""
+    return [
+        flock_setup("INT", params),
+        flock_setup("A1+A2+P", params),
+        flock_setup("A2", params),
+        flock_setup("A1+P", params),
+        flock_setup("A1", params),
+        netbouncer_setup("INT"),
+        netbouncer_setup("A1"),
+        v007_setup("A2"),
+    ]
+
+
+def silent_drop_traces(
+    preset: str,
+    seed: int,
+    topology: Optional[Topology] = None,
+    max_failures: int = 8,
+    n_traces: Optional[int] = None,
+    n_passive: Optional[int] = None,
+    n_probes: Optional[int] = None,
+) -> List[Trace]:
+    """The section 7.1 workload: 1..8 failed links, alternating traffic."""
+    scale = _scale(preset)
+    topo = topology if topology is not None else standard_topology(preset)
+    routing = EcmpRouting(topo)
+    count = n_traces if n_traces is not None else scale["n_traces"]
+    rng = np.random.default_rng(seed)
+    scenarios = [
+        SilentLinkDrops(n_failures=int(rng.integers(1, max_failures + 1)))
+        for _ in range(count)
+    ]
+    return make_trace_batch(
+        topo,
+        routing,
+        scenarios,
+        base_seed=seed,
+        n_passive=n_passive if n_passive is not None else scale["n_passive"],
+        n_probes=n_probes if n_probes is not None else scale["n_probes"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 2a/2b - silent packet drops, accuracy per scheme x input
+# ----------------------------------------------------------------------
+
+
+def fig2_tradeoff(preset: str = "ci", seed: int = 7) -> ExperimentResult:
+    """Silent-drop accuracy at two monitoring volumes (Fig. 2a/2b).
+
+    Rows: one per (volume, scheme-with-input) with precision/recall/
+    fscore at each scheme's default calibrated setting.
+    """
+    _check_preset(preset)
+    scale = _scale(preset)
+    # Low volume = 1/4 of the flows and probes, mirroring the paper's
+    # 100K vs 400K monitoring volumes.
+    volumes = {
+        "low": (scale["n_passive"] // 4, scale["n_probes"]),
+        "high": (scale["n_passive"], scale["n_probes"] * 4),
+    }
+    result = ExperimentResult(
+        experiment="fig2",
+        description="Silent packet drops: accuracy by scheme and input type",
+        notes=(
+            "Paper (400K flows): Flock INT fscore 0.99, A1+A2+P 0.98, "
+            "A2 0.93, A1+P 0.93, NetBouncer INT 0.88, 007 A2 0.61"
+        ),
+    )
+    for volume_name, (n_passive, n_probes) in volumes.items():
+        traces = silent_drop_traces(
+            preset, seed, n_passive=n_passive, n_probes=n_probes
+        )
+        for setup in standard_scheme_suite():
+            summary = evaluate(setup, traces)
+            result.rows.append(
+                {
+                    "volume": volume_name,
+                    "n_passive": n_passive,
+                    "scheme": setup.labeled(),
+                    "precision": summary.accuracy.precision,
+                    "recall": summary.accuracy.recall,
+                    "fscore": summary.accuracy.fscore,
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 2c - device failures
+# ----------------------------------------------------------------------
+
+
+def fig2c_device_failures(preset: str = "ci", seed: int = 11) -> ExperimentResult:
+    """Device failures: fail 25%-100% of a device's links (Fig. 2c)."""
+    _check_preset(preset)
+    scale = _scale(preset)
+    topo = standard_topology(preset)
+    routing = EcmpRouting(topo)
+    rng = np.random.default_rng(seed)
+    scenarios = [
+        SilentDeviceFailure(n_devices=int(rng.integers(1, 3)))
+        for _ in range(scale["n_traces"])
+    ]
+    traces = make_trace_batch(
+        topo, routing, scenarios, base_seed=seed,
+        n_passive=scale["n_passive"], n_probes=scale["n_probes"],
+    )
+    result = ExperimentResult(
+        experiment="fig2c",
+        description="Silent device failures: accuracy by scheme and input",
+        notes=(
+            "Paper: Flock INT ~100% recall vs NetBouncer INT 80% recall; "
+            "Flock A2 fscore 0.97 vs 007 0.76"
+        ),
+    )
+    for setup in standard_scheme_suite():
+        summary = evaluate(setup, traces)
+        result.rows.append(
+            {
+                "scheme": setup.labeled(),
+                "precision": summary.accuracy.precision,
+                "recall": summary.accuracy.recall,
+                "fscore": summary.accuracy.fscore,
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 3a/3b - soft gray failures (drop-rate sweep / SNR)
+# ----------------------------------------------------------------------
+
+
+def fig3_snr(preset: str = "ci", seed: int = 13) -> ExperimentResult:
+    """F-score vs failed-link drop rate, uniform and skewed traffic."""
+    _check_preset(preset)
+    scale = _scale(preset)
+    topo = standard_topology(preset)
+    routing = EcmpRouting(topo)
+    drop_rates = [0.002, 0.004, 0.006, 0.010, 0.014]
+    n_reps = 4 if preset == "ci" else 32
+    setups = [
+        flock_setup("INT"),
+        flock_setup("A1+A2+P"),
+        flock_setup("A2"),
+        v007_setup("A2"),
+        netbouncer_setup("A1"),
+    ]
+    result = ExperimentResult(
+        experiment="fig3",
+        description="Soft gray failures: fscore vs drop rate (SNR sweep)",
+        notes=(
+            "Paper: Flock A2 detects >1% drops reliably; with passive "
+            "telemetry >0.4%; 007 degrades under skewed traffic"
+        ),
+    )
+    for traffic in (UNIFORM, SKEWED):
+        for rate in drop_rates:
+            scenario = SilentLinkDrops(
+                n_failures=1, min_rate=rate, max_rate=rate
+            )
+            traces = [
+                make_trace(
+                    topo, routing, scenario,
+                    seed=seed + rep * 101 + int(rate * 1e5),
+                    n_passive=scale["n_passive"],
+                    n_probes=scale["n_probes"],
+                    traffic=traffic,
+                )
+                for rep in range(n_reps)
+            ]
+            for setup in setups:
+                if traffic == SKEWED and TelemetryKind.A1 in setup.telemetry.kinds \
+                        and len(setup.telemetry.kinds) == 1:
+                    # Paper: A1-only schemes are unaffected by skew in
+                    # application traffic and are omitted from Fig. 3b.
+                    continue
+                summary = evaluate(setup, traces)
+                result.rows.append(
+                    {
+                        "traffic": traffic,
+                        "drop_rate": rate,
+                        "scheme": setup.labeled(),
+                        "fscore": summary.accuracy.fscore,
+                        "precision": summary.accuracy.precision,
+                        "recall": summary.accuracy.recall,
+                    }
+                )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 4a - misconfigured queue (testbed)
+# ----------------------------------------------------------------------
+
+
+def _testbed_scale(preset: str) -> Dict[str, int]:
+    if preset == "paper":
+        return {"n_passive": 40_000, "n_traces": 12}
+    return {"n_passive": 4_000, "n_traces": 6}
+
+
+def fig4a_queue_misconfig(preset: str = "ci", seed: int = 17) -> ExperimentResult:
+    """Misconfigured WRED queue on the testbed topology (Fig. 4a).
+
+    A1 schemes are omitted, as in the paper ("our switches don't have
+    the in network IP-in-IP feature for A1").
+    """
+    _check_preset(preset)
+    scale = _testbed_scale(preset)
+    topo = testbed()
+    routing = EcmpRouting(topo)
+    scenarios = [QueueMisconfig(n_links=1) for _ in range(scale["n_traces"])]
+    traces = make_trace_batch(
+        topo, routing, scenarios, base_seed=seed,
+        n_passive=scale["n_passive"], n_probes=0,
+    )
+    setups = [
+        flock_setup("INT"),
+        flock_setup("A2+P"),
+        flock_setup("A2"),
+        netbouncer_setup("INT"),
+        v007_setup("A2"),
+    ]
+    result = ExperimentResult(
+        experiment="fig4a",
+        description="Testbed: misconfigured WRED queue (p=1%, w=0)",
+        notes=(
+            "Paper (recalibrated): Flock INT fscore 0.98 vs NetBouncer INT "
+            "0.87; Flock A2 0.97 vs 007 0.5; Flock A2+P close to INT"
+        ),
+    )
+    for setup in setups:
+        summary = evaluate(setup, traces)
+        result.rows.append(
+            {
+                "scheme": setup.labeled(),
+                "precision": summary.accuracy.precision,
+                "recall": summary.accuracy.recall,
+                "fscore": summary.accuracy.fscore,
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 4b - link flap (per-flow RTT analysis)
+# ----------------------------------------------------------------------
+
+
+def fig4b_link_flap(preset: str = "ci", seed: int = 19) -> ExperimentResult:
+    """Link flap on the testbed: RTT spikes, per-flow analysis (Fig. 4b)."""
+    _check_preset(preset)
+    scale = _testbed_scale(preset)
+    topo = testbed()
+    routing = EcmpRouting(topo)
+    scenarios = [LinkFlap(n_links=1) for _ in range(scale["n_traces"])]
+    traces = make_trace_batch(
+        topo, routing, scenarios, base_seed=seed,
+        n_passive=scale["n_passive"], n_probes=0,
+    )
+    setups = [
+        flock_setup("INT", DEFAULT_PER_FLOW),
+        flock_setup("A2+P", DEFAULT_PER_FLOW),
+        flock_setup("A2", DEFAULT_PER_FLOW),
+        netbouncer_setup("INT", drop_threshold=0.05),
+        v007_setup("A2"),
+    ]
+    result = ExperimentResult(
+        experiment="fig4b",
+        description="Testbed: link flap diagnosed via per-flow RTT analysis",
+        notes=(
+            "Paper: Flock INT fscore 0.81 vs NetBouncer INT 0.69; "
+            "Flock A2 reduces error 1.8x over 007"
+        ),
+    )
+    for setup in setups:
+        summary = evaluate(setup, traces)
+        result.rows.append(
+            {
+                "scheme": setup.labeled(),
+                "precision": summary.accuracy.precision,
+                "recall": summary.accuracy.recall,
+                "fscore": summary.accuracy.fscore,
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 4c - inference runtime: Sherlock vs greedy-only vs JLE-only vs Flock
+# ----------------------------------------------------------------------
+
+
+def estimate_sherlock_runtime(
+    problem: InferenceProblem,
+    params: FlockParams,
+    sample: int = 300,
+    seed: int = 0,
+) -> Tuple[float, int]:
+    """Extrapolate plain Sherlock's K=2 runtime from a hypothesis sample.
+
+    The paper does the same for its largest point ("estimated ... based
+    on extrapolating a partial run").  Uses the vectorized hypothesis
+    pricer so all Fig. 4c arms share constant factors.  Returns
+    (seconds, total hypotheses).
+    """
+    from ..core.flock_fast import VectorArrays
+
+    arrays = VectorArrays(problem, params)
+    comps = list(problem.observed_components)
+    n = len(comps)
+    total_hypotheses = 1 + n + n * (n - 1) // 2
+    rng = np.random.default_rng(seed)
+    # Warm up the kernels so first-call overhead doesn't inflate the
+    # extrapolated per-hypothesis cost.
+    for _ in range(10):
+        arrays.hypothesis_ll(comps[:2])
+    t0 = time.perf_counter()
+    measured = 0
+    for _ in range(sample):
+        pair = rng.choice(n, size=min(2, n), replace=False)
+        arrays.hypothesis_ll([comps[int(i)] for i in pair])
+        measured += 1
+    elapsed = time.perf_counter() - t0
+    per_hypothesis = elapsed / max(1, measured)
+    return per_hypothesis * total_hypotheses, total_hypotheses
+
+
+def fig4c_runtime(preset: str = "ci", seed: int = 23) -> ExperimentResult:
+    """Runtime of Sherlock / greedy-only / JLE-only / Flock vs size."""
+    _check_preset(preset)
+    if preset == "paper":
+        ks = [4, 8, 12, 16]
+        flows_per_server = 100
+    else:
+        ks = [4, 6, 8]
+        flows_per_server = 20
+    result = ExperimentResult(
+        experiment="fig4c",
+        description=(
+            "Inference runtime vs topology size: Sherlock (extrapolated), "
+            "Flock greedy-only, Flock JLE-only (Sherlock+JLE), Flock"
+        ),
+        notes=(
+            "Paper: Flock >10^4x faster than Sherlock; greedy and JLE "
+            "each contribute ~100x"
+        ),
+    )
+    for k in ks:
+        topo = fat_tree(k)
+        routing = EcmpRouting(topo)
+        n_servers = len(topo.hosts)
+        trace = make_trace(
+            topo, routing, SilentLinkDrops(n_failures=2), seed=seed + k,
+            n_passive=n_servers * flows_per_server,
+            n_probes=n_servers * 2,
+        )
+        problem = build_problem(trace, TelemetryConfig.from_spec("A1+A2+P"))
+
+        def best_of(fn, repeats=3):
+            best = float("inf")
+            value = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                value = fn()
+                best = min(best, time.perf_counter() - t0)
+            return best, value
+
+        # The fast arms finish in milliseconds at small sizes; take the
+        # best of three runs so timer noise doesn't distort the ratios.
+        flock_time, flock_pred = best_of(
+            lambda: FlockInference(DEFAULT_PER_PACKET).localize(problem)
+        )
+
+        from ..core.flock_fast import VectorGreedyWithoutJle
+
+        greedy_only_time, _ = best_of(
+            lambda: VectorGreedyWithoutJle(problem, DEFAULT_PER_PACKET).run()
+        )
+
+        t0 = time.perf_counter()
+        SherlockFerret(
+            DEFAULT_PER_PACKET, max_failures=2, use_jle=True, engine="fast"
+        ).localize(problem)
+        jle_only_time = time.perf_counter() - t0
+        jle_only_est = False
+
+        sherlock_time, n_hyp = estimate_sherlock_runtime(
+            problem, DEFAULT_PER_PACKET
+        )
+        for scheme, seconds, estimated in (
+            ("sherlock", sherlock_time, True),
+            ("flock-greedy-only", greedy_only_time, False),
+            ("flock-jle-only", jle_only_time, jle_only_est),
+            ("flock", flock_time, False),
+        ):
+            result.rows.append(
+                {
+                    "servers": n_servers,
+                    "k": k,
+                    "scheme": scheme,
+                    "seconds": seconds,
+                    "estimated": estimated,
+                    "hypotheses": n_hyp if scheme == "sherlock"
+                    else flock_pred.hypotheses_scanned,
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 4d - end-to-end scheme runtimes
+# ----------------------------------------------------------------------
+
+
+def fig4d_scheme_runtime(preset: str = "ci", seed: int = 29) -> ExperimentResult:
+    """Runtime of every scheme on its input, across topology sizes."""
+    _check_preset(preset)
+    ks = [4, 6, 8] if preset == "ci" else [8, 12, 16]
+    flows_per_server = 20 if preset == "ci" else 100
+    setups = [
+        netbouncer_setup("INT"),
+        flock_setup("A1+A2+P"),
+        flock_setup("INT"),
+        netbouncer_setup("A1"),
+        flock_setup("A1"),
+        flock_setup("A2"),
+        v007_setup("A2"),
+    ]
+    result = ExperimentResult(
+        experiment="fig4d",
+        description="Scheme runtime across topology sizes",
+        notes=(
+            "Paper: Flock ~4.5x faster than NetBouncer on the same input; "
+            "007 fastest (<1 sec) but least accurate"
+        ),
+    )
+    for k in ks:
+        topo = fat_tree(k)
+        routing = EcmpRouting(topo)
+        n_servers = len(topo.hosts)
+        trace = make_trace(
+            topo, routing, SilentLinkDrops(n_failures=2), seed=seed + k,
+            n_passive=n_servers * flows_per_server, n_probes=n_servers * 2,
+        )
+        for setup in setups:
+            outcome = run_on_trace(setup, trace)
+            result.rows.append(
+                {
+                    "servers": n_servers,
+                    "k": k,
+                    "scheme": setup.labeled(),
+                    "seconds": outcome.inference_seconds,
+                    "build_seconds": outcome.build_seconds,
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 5a/5b - irregular Clos
+# ----------------------------------------------------------------------
+
+
+def fig5_irregular(preset: str = "ci", seed: int = 31) -> ExperimentResult:
+    """Accuracy vs fraction of omitted links, including Flock (P)."""
+    _check_preset(preset)
+    scale = _scale(preset)
+    fractions = [0.0, 0.05, 0.10, 0.20]
+    n_traces = max(4, scale["n_traces"] // 2)
+    base_topo = standard_topology(preset)
+    result = ExperimentResult(
+        experiment="fig5",
+        description="Irregular Clos: accuracy vs % links omitted",
+        notes=(
+            "Paper: Flock robust to irregularity; 007 sensitive; "
+            "Flock (P) improves as symmetry breaks"
+        ),
+    )
+    for fraction in fractions:
+        rng = np.random.default_rng(seed + int(fraction * 1000))
+        topo, _removed = omit_random_links(base_topo, fraction, rng)
+        routing = EcmpRouting(topo)
+        scenarios = [SilentLinkDrops(n_failures=1) for _ in range(n_traces)]
+        traces = make_trace_batch(
+            topo, routing, scenarios, base_seed=seed + int(fraction * 100),
+            n_passive=scale["n_passive"], n_probes=0,
+        )
+        setups = [
+            flock_setup("INT"),
+            flock_setup("A2+P"),
+            flock_setup("A2"),
+            flock_setup("P"),
+            netbouncer_setup("INT"),
+            v007_setup("A2"),
+        ]
+        for setup in setups:
+            summary = evaluate(setup, traces)
+            result.rows.append(
+                {
+                    "fraction_omitted": fraction,
+                    "scheme": setup.labeled(),
+                    "precision": summary.accuracy.precision,
+                    "recall": summary.accuracy.recall,
+                    "fscore": summary.accuracy.fscore,
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 5c - Flock (P) on a hard, nearly-symmetric scenario
+# ----------------------------------------------------------------------
+
+
+def fig5c_passive_hard(preset: str = "ci", seed: int = 37) -> ExperimentResult:
+    """Passive-only localization with <5% omitted links (Fig. 5c)."""
+    _check_preset(preset)
+    scale = _scale(preset)
+    fractions = [0.01, 0.02, 0.03, 0.04]
+    n_traces = max(4, scale["n_traces"] // 2)
+    base_topo = standard_topology(preset)
+    setup = flock_setup("P")
+    result = ExperimentResult(
+        experiment="fig5c",
+        description=(
+            "Flock (P) on a hard scenario: symmetric Clos, passive only, "
+            "with the theoretical max precision from equivalence classes"
+        ),
+        notes="Paper: >75% recall, >40% precision; theoretical max shown",
+    )
+    for fraction in fractions:
+        rng = np.random.default_rng(seed + int(fraction * 1000))
+        topo, _removed = omit_random_links(base_topo, fraction, rng)
+        routing = EcmpRouting(topo)
+        classes = link_equivalence_classes(topo, routing)
+        scenarios = [SilentLinkDrops(n_failures=1) for _ in range(n_traces)]
+        traces = make_trace_batch(
+            topo, routing, scenarios, base_seed=seed + int(fraction * 100),
+            n_passive=scale["n_passive"], n_probes=0,
+        )
+        summary = evaluate(setup, traces)
+        max_precisions = [
+            theoretical_max_precision(classes, trace.ground_truth.failed_links)
+            for trace in traces
+        ]
+        result.rows.append(
+            {
+                "fraction_omitted": fraction,
+                "scheme": setup.labeled(),
+                "precision": summary.accuracy.precision,
+                "recall": summary.accuracy.recall,
+                "theoretical_max_precision": float(np.mean(max_precisions)),
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 1 - parameter calibration robustness
+# ----------------------------------------------------------------------
+
+
+def table1_robustness(preset: str = "ci", seed: int = 41) -> ExperimentResult:
+    """Train/test environment mismatch (Table 1), per scheme.
+
+    For each test environment we evaluate Flock with parameters
+    calibrated on a *different* environment (D) and on the same kind of
+    environment (S).  CI preset uses coarse grids.
+    """
+    _check_preset(preset)
+    scale = _scale(preset)
+    n_traces = max(3, scale["n_traces"] // 2)
+    n_passive = scale["n_passive"]
+    topo = standard_topology(preset)
+    routing = EcmpRouting(topo)
+    small_topo = testbed()
+    small_routing = EcmpRouting(small_topo)
+
+    def drops(topology, routing_, seeds, rate=None, flows=None, probes=None):
+        scenario = (
+            SilentLinkDrops(n_failures=2)
+            if rate is None
+            else SilentLinkDrops(n_failures=2, min_rate=rate[0], max_rate=rate[1])
+        )
+        return make_trace_batch(
+            topology, routing_, [scenario] * len(seeds), base_seed=seeds[0],
+            n_passive=flows if flows is not None else n_passive,
+            n_probes=probes if probes is not None else scale["n_probes"],
+        )
+
+    train = drops(topo, routing, list(range(seed, seed + n_traces)))
+    environments = {
+        "different_topology": drops(
+            small_topo, small_routing,
+            list(range(seed + 100, seed + 100 + n_traces)),
+            flows=n_passive // 2, probes=0,
+        ),
+        "different_failure_rate": drops(
+            topo, routing, list(range(seed + 200, seed + 200 + n_traces)),
+            rate=(0.02, 0.05),
+        ),
+        "different_monitoring_interval": drops(
+            topo, routing, list(range(seed + 300, seed + 300 + n_traces)),
+            flows=n_passive // 4,
+        ),
+        "different_failure_scenario": make_trace_batch(
+            topo, routing,
+            [SilentDeviceFailure(n_devices=1)] * n_traces,
+            base_seed=seed + 400,
+            n_passive=n_passive, n_probes=scale["n_probes"],
+        ),
+    }
+
+    grid = {
+        "pg": [1e-4, 3e-4, 7e-4],
+        "pb": [2e-3, 6e-3],
+        "rho": [5e-4],
+    }
+    telemetry = TelemetryConfig.from_spec("A1+A2+P")
+    result = ExperimentResult(
+        experiment="table1",
+        description="Parameter-calibration robustness (train vs test mismatch)",
+        notes="Paper: Flock loses <2% accuracy under mismatch; NetBouncer 31%",
+    )
+
+    train_points = calibrate(flock_factory, grid, train, telemetry)
+    train_choice = choose_operating_point(train_points)
+    for env_name, test_traces in environments.items():
+        same_points = calibrate(flock_factory, grid, test_traces, telemetry)
+        same_choice = choose_operating_point(same_points)
+        for mode, choice in (("D", train_choice), ("S", same_choice)):
+            localizer = flock_factory(**choice.params)
+            setup = SchemeSetup("Flock", localizer, telemetry)
+            summary = evaluate(setup, test_traces)
+            result.rows.append(
+                {
+                    "scheme": "Flock (A1+A2+P)",
+                    "environment": env_name,
+                    "mode": mode,
+                    "params": dict(choice.params),
+                    "precision": summary.accuracy.precision,
+                    "recall": summary.accuracy.recall,
+                    "fscore": summary.accuracy.fscore,
+                }
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 - worked example
+# ----------------------------------------------------------------------
+
+
+def fig6_worked_example() -> ExperimentResult:
+    """The appendix's 5-link, 5-flow example where Flock localizes the
+    failed link and 007/NetBouncer do not.
+
+    Topology: hosts S1, S2 under switch I1; hosts D1, D2 under switch
+    I2; link I1-I2 between them.  The link I2-D2 silently drops ~5% of
+    packets.  Flows S1->D2 and S2->D2 see heavy loss; S1->D1 sees two
+    stray drops; the rest are clean.
+    """
+    topo = Topology(
+        names=["S1", "S2", "I1", "I2", "D1", "D2"],
+        roles=["host", "host", "tor", "tor", "host", "host"],
+        links=[(0, 2), (1, 2), (2, 3), (3, 4), (3, 5)],
+    )
+
+    def path(*nodes):
+        return topo.path_components(nodes, include_devices=False)
+
+    observations = [
+        # (path_set, packets_sent, bad_packets) - Fig. 6's annotations.
+        FlowObservation((path(0, 2, 3, 5),), 10_000, 543),   # S1->D2, lossy
+        FlowObservation((path(0, 2, 3, 4),), 10_000, 2),     # S1->D1, 2 drops
+        FlowObservation((path(1, 2, 3, 5),), 10_000, 461),   # S2->D2, lossy
+        FlowObservation((path(1, 2, 3, 4),), 10_000, 0),     # S2->D1, clean
+        FlowObservation((path(0, 2, 1),), 10_000, 0),        # S1->S2, clean
+    ]
+    problem = InferenceProblem.from_observations(
+        observations, n_components=topo.n_components, n_links=topo.n_links
+    )
+    failed_link = topo.link_id(3, 5)
+
+    params = FlockParams(pg=3e-4, pb=4e-2, rho=5e-4)
+    rows = []
+    for name, localizer in (
+        ("Flock", FlockInference(params)),
+        ("007", Vote007(threshold=0.7)),
+        ("NetBouncer", NetBouncer(**DEFAULT_NETBOUNCER)),
+    ):
+        prediction = localizer.localize(problem)
+        named = sorted(topo.component_name(c) for c in prediction.components)
+        rows.append(
+            {
+                "scheme": name,
+                "predicted": named,
+                "correct_only": prediction.components == frozenset({failed_link}),
+            }
+        )
+    return ExperimentResult(
+        experiment="fig6",
+        description="Worked example: Flock pinpoints I2<->D2",
+        rows=rows,
+        notes="Paper Fig. 6: 007 -> (I1,I2); NetBouncer -> 2 links; Flock -> (I2,D2)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 8a/8b - parameter sensitivity and priors
+# ----------------------------------------------------------------------
+
+
+def fig8a_sensitivity(preset: str = "ci", seed: int = 43) -> ExperimentResult:
+    """F-score over a (pg, pb) grid (Fig. 8a)."""
+    _check_preset(preset)
+    traces = silent_drop_traces(preset, seed, max_failures=4)
+    telemetry = TelemetryConfig.from_spec("A1+A2+P")
+    result = ExperimentResult(
+        experiment="fig8a",
+        description="Sensitivity to pg and pb",
+        notes="Paper: accuracy high over a wide (pg, pb) region",
+    )
+    for pg in (1e-4, 3e-4, 5e-4, 7e-4):
+        for pb in (2e-3, 4e-3, 6e-3, 1e-2):
+            setup = SchemeSetup(
+                "Flock",
+                FlockInference(FlockParams(pg=pg, pb=pb, rho=5e-4)),
+                telemetry,
+            )
+            summary = evaluate(setup, traces)
+            result.rows.append(
+                {
+                    "pg": pg,
+                    "pb": pb,
+                    "fscore": summary.accuracy.fscore,
+                    "precision": summary.accuracy.precision,
+                    "recall": summary.accuracy.recall,
+                }
+            )
+    return result
+
+
+def fig8b_priors(preset: str = "ci", seed: int = 47) -> ExperimentResult:
+    """Effect of the prior rho on precision/recall (Fig. 8b)."""
+    _check_preset(preset)
+    traces = silent_drop_traces(preset, seed, max_failures=4)
+    telemetry = TelemetryConfig.from_spec("A1+A2+P")
+    result = ExperimentResult(
+        experiment="fig8b",
+        description="Effect of the failure prior rho",
+        notes="Paper: larger priors move points right (higher precision)",
+    )
+    for rho in (1e-5, 1e-4, 5e-4, 2e-3, 1e-2):
+        setup = SchemeSetup(
+            "Flock",
+            FlockInference(FlockParams(pg=3e-4, pb=4e-3, rho=rho)),
+            telemetry,
+        )
+        summary = evaluate(setup, traces)
+        result.rows.append(
+            {
+                "rho": rho,
+                "precision": summary.accuracy.precision,
+                "recall": summary.accuracy.recall,
+                "fscore": summary.accuracy.fscore,
+            }
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Section 7.8 - hypothesis scan rate
+# ----------------------------------------------------------------------
+
+
+def scan_rate(preset: str = "ci", seed: int = 53) -> ExperimentResult:
+    """Hypotheses scanned per second by Flock's inference (section 7.8).
+
+    The paper reports ~3.5M hypotheses in 17 s at 88K links / 9.5M
+    flows (~200K hypotheses/s in C++ on 40 cores).
+    """
+    _check_preset(preset)
+    k = 8 if preset == "ci" else 16
+    topo = fat_tree(k)
+    routing = EcmpRouting(topo)
+    n_servers = len(topo.hosts)
+    trace = make_trace(
+        topo, routing, SilentLinkDrops(n_failures=4), seed=seed,
+        n_passive=n_servers * (30 if preset == "ci" else 150),
+        n_probes=n_servers * 2,
+    )
+    problem = build_problem(trace, TelemetryConfig.from_spec("A1+A2+P"))
+    t0 = time.perf_counter()
+    prediction = FlockInference(DEFAULT_PER_PACKET).localize(problem)
+    elapsed = time.perf_counter() - t0
+    return ExperimentResult(
+        experiment="scan_rate",
+        description="Flock hypothesis scan rate",
+        rows=[
+            {
+                "links": topo.n_links,
+                "components": topo.n_components,
+                "flows": problem.total_flows,
+                "grouped_flows": problem.n_flows,
+                "hypotheses_scanned": prediction.hypotheses_scanned,
+                "seconds": elapsed,
+                "hypotheses_per_second": prediction.hypotheses_scanned / elapsed,
+            }
+        ],
+        notes="Paper: ~3.5M hypotheses in 17s at 88K links (C++, 40 cores)",
+    )

@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints these tables so ``pytest benchmarks/``
+output can be compared against the paper's figures row by row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .experiments import ExperimentResult
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in cells
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def render_result(result: ExperimentResult, columns: Optional[Sequence[str]] = None) -> str:
+    """Render a full experiment result with its provenance header."""
+    parts = [
+        f"== {result.experiment}: {result.description} ==",
+    ]
+    if result.notes:
+        parts.append(f"paper: {result.notes}")
+    parts.append(format_table(result.rows, columns))
+    return "\n".join(parts)
+
+
+def print_result(result: ExperimentResult, columns: Optional[Sequence[str]] = None) -> None:
+    print()
+    print(render_result(result, columns))

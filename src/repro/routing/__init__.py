@@ -1,0 +1,6 @@
+"""Routing substrate: ECMP path enumeration and path interning."""
+
+from .ecmp import EcmpRouting, wcmp_weights
+from .paths import PathSetTable, PathTable
+
+__all__ = ["EcmpRouting", "wcmp_weights", "PathTable", "PathSetTable"]

@@ -1,0 +1,73 @@
+"""Path and path-set interning.
+
+A datacenter trace has millions of flows but only thousands of distinct
+paths and path sets (every host pair in the same rack pair shares one).
+Interning them gives (a) compact integer handles that the vectorized
+inference kernels can index with, and (b) the memoization substrate the
+paper's JLE counters rely on ("the effect on a flow's likelihood depends
+only on the number of failed paths, not the specific failed links").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+ComponentPath = Tuple[int, ...]
+
+
+class PathTable:
+    """Interning table for component-id paths.
+
+    Each distinct sorted component tuple gets a dense integer id.
+    """
+
+    def __init__(self) -> None:
+        self._paths: List[ComponentPath] = []
+        self._index: Dict[ComponentPath, int] = {}
+
+    def intern(self, components: Sequence[int]) -> int:
+        """Return the id for this component set, creating it if new."""
+        key = tuple(sorted(set(components)))
+        existing = self._index.get(key)
+        if existing is not None:
+            return existing
+        path_id = len(self._paths)
+        self._paths.append(key)
+        self._index[key] = path_id
+        return path_id
+
+    def components(self, path_id: int) -> ComponentPath:
+        return self._paths[path_id]
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self):
+        return iter(self._paths)
+
+
+class PathSetTable:
+    """Interning table for path sets (tuples of path ids)."""
+
+    def __init__(self) -> None:
+        self._sets: List[Tuple[int, ...]] = []
+        self._index: Dict[Tuple[int, ...], int] = {}
+
+    def intern(self, path_ids: Iterable[int]) -> int:
+        key = tuple(sorted(path_ids))
+        existing = self._index.get(key)
+        if existing is not None:
+            return existing
+        set_id = len(self._sets)
+        self._sets.append(key)
+        self._index[key] = set_id
+        return set_id
+
+    def paths(self, set_id: int) -> Tuple[int, ...]:
+        return self._sets[set_id]
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __iter__(self):
+        return iter(self._sets)

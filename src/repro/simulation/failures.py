@@ -1,0 +1,196 @@
+"""Failure scenario injection (section 6.4).
+
+Each scenario produces an :class:`Injection`: ground truth, the per-link
+drop-rate plan the simulator should apply, any flapping links, and the
+latency model / analysis mode the telemetry layer should use.
+
+Scenarios
+---------
+* :class:`SilentLinkDrops` - "a link drops a small fraction of packets
+  without updating switch counters."
+* :class:`SilentDeviceFailure` - "an error in a device component (e.g.,
+  memory, line card) causes silent packet drops ... it affects many or
+  all links on the device."  Section 7.2 fails f% in [25%, 100%] of a
+  device's links.
+* :class:`QueueMisconfig` - the testbed's misconfigured WRED queue
+  (p=1%, w=0); modeled as a utilization-dependent effective drop rate
+  (see :mod:`repro.simulation.queueing`).
+* :class:`LinkFlap` - the testbed's pulled cable: RTT spikes without
+  retransmissions; diagnosed with the per-flow analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..topology.base import Topology
+from ..types import GroundTruth
+from .droprate import (
+    FAILED_LINK_MAX_RATE,
+    FAILED_LINK_MIN_RATE,
+    DropRatePlan,
+    fail_links,
+    good_link_rates,
+)
+from .latency import LatencyModel
+from .queueing import WredConfig, effective_drop_rate
+
+#: Analysis modes (paper section 3.2): per-packet uses retransmission
+#: counts; per-flow uses a single RTT-threshold bit per flow.
+PER_PACKET = "per_packet"
+PER_FLOW = "per_flow"
+
+
+@dataclass(frozen=True)
+class Injection:
+    """Everything the simulator and telemetry need about injected faults."""
+
+    ground_truth: GroundTruth
+    plan: DropRatePlan
+    flapped_links: FrozenSet[int] = frozenset()
+    latency_model: Optional[LatencyModel] = None
+    analysis: str = PER_PACKET
+
+
+class FailureScenario:
+    """Base class: a recipe that injects faults into a topology."""
+
+    def inject(self, topology: Topology, rng: np.random.Generator) -> Injection:
+        raise NotImplementedError
+
+
+def _pick_fabric_links(
+    topology: Topology, n: int, rng: np.random.Generator
+) -> Tuple[int, ...]:
+    candidates = topology.switch_switch_links()
+    if n > len(candidates):
+        raise SimulationError(
+            f"cannot fail {n} links; topology has {len(candidates)} fabric links"
+        )
+    chosen = rng.choice(len(candidates), size=n, replace=False)
+    return tuple(sorted(candidates[i] for i in chosen))
+
+
+@dataclass(frozen=True)
+class SilentLinkDrops(FailureScenario):
+    """Fail ``n_failures`` fabric links with silent drops."""
+
+    n_failures: int = 1
+    min_rate: float = FAILED_LINK_MIN_RATE
+    max_rate: float = FAILED_LINK_MAX_RATE
+
+    def __post_init__(self) -> None:
+        if self.n_failures < 0:
+            raise SimulationError("n_failures must be non-negative")
+
+    def inject(self, topology: Topology, rng: np.random.Generator) -> Injection:
+        plan = good_link_rates(topology, rng)
+        failed = _pick_fabric_links(topology, self.n_failures, rng)
+        plan = fail_links(plan, failed, rng, self.min_rate, self.max_rate)
+        truth = GroundTruth(
+            failed_links=frozenset(failed),
+            drop_rates={link: plan.rate(link) for link in failed},
+        )
+        return Injection(ground_truth=truth, plan=plan)
+
+
+@dataclass(frozen=True)
+class SilentDeviceFailure(FailureScenario):
+    """Fail ``n_devices`` switches by failing a fraction of their links.
+
+    "We simulate a device failure by failing f% of a faulty device's
+    links ... varying f across traces from 25% to 100%." (section 7.2)
+    """
+
+    n_devices: int = 1
+    min_link_fraction: float = 0.25
+    max_link_fraction: float = 1.0
+    min_rate: float = FAILED_LINK_MIN_RATE
+    max_rate: float = FAILED_LINK_MAX_RATE
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 0:
+            raise SimulationError("n_devices must be non-negative")
+        if not 0.0 < self.min_link_fraction <= self.max_link_fraction <= 1.0:
+            raise SimulationError("link fraction range must be in (0, 1]")
+
+    def inject(self, topology: Topology, rng: np.random.Generator) -> Injection:
+        switches = list(topology.switches)
+        if self.n_devices > len(switches):
+            raise SimulationError("more failed devices than switches")
+        plan = good_link_rates(topology, rng)
+        picked = rng.choice(len(switches), size=self.n_devices, replace=False)
+        failed_devices = []
+        affected_links = []
+        for idx in picked:
+            device = switches[idx]
+            links = list(topology.device_links(device))
+            fraction = rng.uniform(self.min_link_fraction, self.max_link_fraction)
+            n_fail = max(1, int(round(fraction * len(links))))
+            chosen = rng.choice(len(links), size=min(n_fail, len(links)), replace=False)
+            failed_devices.append(topology.device_component(device))
+            affected_links.extend(links[i] for i in chosen)
+        plan = fail_links(plan, affected_links, rng, self.min_rate, self.max_rate)
+        truth = GroundTruth(
+            failed_devices=frozenset(failed_devices),
+            drop_rates={link: plan.rate(link) for link in affected_links},
+        )
+        return Injection(ground_truth=truth, plan=plan)
+
+
+@dataclass(frozen=True)
+class QueueMisconfig(FailureScenario):
+    """Misconfigured WRED queue on ``n_links`` fabric links.
+
+    The effective drop rate seen by flows is utilization-dependent:
+    ``p * rho^(w+1)`` (see :func:`effective_drop_rate`).  ``utilization``
+    approximates the testbed's offered load on the affected port.
+    """
+
+    n_links: int = 1
+    wred: WredConfig = field(default_factory=WredConfig)
+    utilization: float = 0.6
+
+    def inject(self, topology: Topology, rng: np.random.Generator) -> Injection:
+        plan = good_link_rates(topology, rng)
+        failed = _pick_fabric_links(topology, self.n_links, rng)
+        rate = effective_drop_rate(self.wred, self.utilization)
+        plan = plan.with_rates({link: rate for link in failed})
+        truth = GroundTruth(
+            failed_links=frozenset(failed),
+            drop_rates={link: rate for link in failed},
+        )
+        return Injection(ground_truth=truth, plan=plan)
+
+
+@dataclass(frozen=True)
+class LinkFlap(FailureScenario):
+    """Pulled-cable link flap: latency spikes, no extra retransmissions."""
+
+    n_links: int = 1
+    latency_model: LatencyModel = field(default_factory=LatencyModel)
+
+    def inject(self, topology: Topology, rng: np.random.Generator) -> Injection:
+        plan = good_link_rates(topology, rng)
+        flapped = _pick_fabric_links(topology, self.n_links, rng)
+        truth = GroundTruth(failed_links=frozenset(flapped))
+        return Injection(
+            ground_truth=truth,
+            plan=plan,
+            flapped_links=frozenset(flapped),
+            latency_model=self.latency_model,
+            analysis=PER_FLOW,
+        )
+
+
+@dataclass(frozen=True)
+class NoFailure(FailureScenario):
+    """Healthy network (used for false-positive measurement)."""
+
+    def inject(self, topology: Topology, rng: np.random.Generator) -> Injection:
+        plan = good_link_rates(topology, rng)
+        return Injection(ground_truth=GroundTruth(), plan=plan)

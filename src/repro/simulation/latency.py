@@ -1,0 +1,89 @@
+"""Flow RTT model for the link-flap scenario (sections 6.4 and 7.5).
+
+"We pull out a cable manually and quickly put it back in to emulate link
+flaps.  In our setup, link flaps caused the latency of the flows
+transiting the link to spike, but did not produce any significant
+increase in retransmissions (i.e., the link was buffering packets)."
+
+Inference then uses the paper's "per-flow" analysis: a flow is bad if
+its RTT exceeds a threshold (10 ms in section 7.5).  The model below
+produces RTT samples with a lognormal baseline, occasional congestion
+spikes on healthy paths (false-positive pressure), and near-certain
+spikes for flows crossing a flapping link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..topology.base import Topology
+
+#: Section 7.5 classification threshold.
+RTT_BAD_THRESHOLD_MS = 10.0
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """RTT generator parameters.
+
+    ``base_rtt_ms``/``base_sigma`` shape the healthy lognormal RTT;
+    ``congestion_spike_prob`` is the chance any healthy flow exceeds the
+    bad threshold anyway (queueing noise); ``flap_spike_prob`` is the
+    chance a flow crossing a flapping link spikes; spike RTTs are drawn
+    uniformly in ``[spike_low_ms, spike_high_ms]``.
+    """
+
+    base_rtt_ms: float = 0.2
+    base_sigma: float = 0.35
+    congestion_spike_prob: float = 0.001
+    flap_spike_prob: float = 0.9
+    spike_low_ms: float = 15.0
+    spike_high_ms: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.base_rtt_ms <= 0 or self.base_sigma <= 0:
+            raise SimulationError("base RTT parameters must be positive")
+        for name in ("congestion_spike_prob", "flap_spike_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{name} must be a probability")
+        if not 0 < self.spike_low_ms <= self.spike_high_ms:
+            raise SimulationError("spike RTT range is inverted")
+
+    def sample_rtts(
+        self,
+        topology: Topology,
+        paths: Sequence[Sequence[int]],
+        flapped_links: FrozenSet[int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sample one RTT (ms) per flow given each flow's actual path."""
+        n = len(paths)
+        mu = np.log(self.base_rtt_ms)
+        rtts = rng.lognormal(mean=mu, sigma=self.base_sigma, size=n)
+        crosses = np.zeros(n, dtype=bool)
+        if flapped_links:
+            for i, nodes in enumerate(paths):
+                for u, v in zip(nodes, nodes[1:]):
+                    if topology.link_id(u, v) in flapped_links:
+                        crosses[i] = True
+                        break
+        spike_prob = np.where(
+            crosses, self.flap_spike_prob, self.congestion_spike_prob
+        )
+        spiking = rng.random(n) < spike_prob
+        n_spikes = int(spiking.sum())
+        if n_spikes:
+            rtts[spiking] = rng.uniform(
+                self.spike_low_ms, self.spike_high_ms, size=n_spikes
+            )
+        return rtts
+
+
+def rtt_is_bad(rtt_ms: float, threshold_ms: float = RTT_BAD_THRESHOLD_MS) -> bool:
+    """Per-flow analysis classification (section 3.2): bad iff RTT > threshold."""
+    return rtt_ms > threshold_ms

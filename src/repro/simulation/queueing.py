@@ -1,0 +1,116 @@
+"""WRED queue model for the misconfigured-queue testbed scenario.
+
+Section 6.4: "A WRED queue drops packets with probability p when the
+queue length is above a configurable threshold w.  We misconfigure WRED
+queues on switches, setting p = 1% and w = 0 (so, the link works
+normally if the queue is empty)."
+
+The hardware testbed observes this as a load-dependent loss rate: a
+packet is dropped with probability ``p`` only when it arrives to a
+non-empty queue.  We reproduce that two ways:
+
+* :func:`effective_drop_rate` - the analytic substitute used by the
+  flow-level simulator: for an M/M/1-like queue at utilization ``rho``,
+  the probability of arriving to a busy queue is ``rho``, so the
+  effective loss rate is ``p * rho`` (plus the exact occupancy law for
+  ``w > 0``).
+* :class:`WredQueue` - a discrete-time queue simulation used by tests to
+  validate the analytic substitute against an actual queue sample path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class WredConfig:
+    """WRED parameters: drop probability ``p`` above queue threshold ``w``."""
+
+    drop_probability: float = 0.01
+    queue_threshold: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise SimulationError("drop_probability must be a probability")
+        if self.queue_threshold < 0:
+            raise SimulationError("queue_threshold must be >= 0")
+
+
+def effective_drop_rate(config: WredConfig, utilization: float) -> float:
+    """Analytic effective loss rate of a misconfigured WRED queue.
+
+    For an M/M/1 queue at utilization ``rho``, the stationary probability
+    that an arriving packet sees more than ``w`` packets in the system is
+    ``rho^(w+1)`` (PASTA).  The WRED rule then drops it with probability
+    ``p``, giving an effective rate ``p * rho^(w+1)``.  With the paper's
+    misconfiguration (w=0) this is simply ``p * rho``.
+    """
+    if not 0.0 <= utilization < 1.0:
+        raise SimulationError("utilization must be in [0, 1)")
+    return config.drop_probability * utilization ** (config.queue_threshold + 1)
+
+
+class WredQueue:
+    """Discrete-time Geo/Geo/1 queue with a WRED drop rule.
+
+    Each time slot: with probability ``arrival_rate`` a packet arrives;
+    if the queue (including the packet in service) is longer than the
+    WRED threshold, the arrival is dropped with probability ``p``,
+    otherwise enqueued.  The head packet then departs with probability
+    ``service_prob``.  Utilization is ``arrival_rate / service_prob``.
+
+    With small slot probabilities (the default) the chain approximates
+    a continuous-time M/M/1 queue, where the probability an arrival
+    finds the server busy is the utilization (PASTA) - which is what
+    the analytic :func:`effective_drop_rate` substitute assumes.
+    """
+
+    def __init__(
+        self,
+        config: WredConfig,
+        arrival_rate: float,
+        service_prob: float = 0.05,
+    ) -> None:
+        if not 0.0 < service_prob <= 1.0:
+            raise SimulationError("service_prob must be in (0, 1]")
+        if not 0.0 <= arrival_rate < service_prob:
+            raise SimulationError(
+                "arrival_rate must be in [0, service_prob) for stability"
+            )
+        self._config = config
+        self._arrival_rate = arrival_rate
+        self._service_prob = service_prob
+        self.queue_length = 0
+        self.arrived = 0
+        self.dropped = 0
+
+    @property
+    def utilization(self) -> float:
+        return self._arrival_rate / self._service_prob
+
+    def step(self, rng: np.random.Generator) -> None:
+        """Advance the queue by one time slot."""
+        if rng.random() < self._arrival_rate:
+            self.arrived += 1
+            if (
+                self.queue_length > self._config.queue_threshold
+                and rng.random() < self._config.drop_probability
+            ):
+                self.dropped += 1
+            else:
+                self.queue_length += 1
+        if self.queue_length > 0 and rng.random() < self._service_prob:
+            self.queue_length -= 1
+
+    def run(self, n_slots: int, rng: np.random.Generator) -> float:
+        """Run ``n_slots`` slots and return the measured drop rate."""
+        for _ in range(n_slots):
+            self.step(rng)
+        if self.arrived == 0:
+            return 0.0
+        return self.dropped / self.arrived

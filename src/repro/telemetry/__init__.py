@@ -1,0 +1,36 @@
+"""Telemetry subsystem: wire records, codec, agent, collector, inputs."""
+
+from .agent import InMemoryTransport, TelemetryAgent, Transport, UdpTransport
+from .codec import (
+    MAX_RECORDS_PER_MESSAGE,
+    decode_message,
+    decode_record,
+    encode_message,
+    encode_record,
+)
+from .collector import Collector, UdpCollectorServer
+from .inputs import (
+    TelemetryConfig,
+    build_observations,
+    build_observations_from_reports,
+)
+from .records import MAX_PATH_NODES, FlowReport
+
+__all__ = [
+    "FlowReport",
+    "MAX_PATH_NODES",
+    "encode_record",
+    "decode_record",
+    "encode_message",
+    "decode_message",
+    "MAX_RECORDS_PER_MESSAGE",
+    "TelemetryAgent",
+    "Transport",
+    "InMemoryTransport",
+    "UdpTransport",
+    "Collector",
+    "UdpCollectorServer",
+    "TelemetryConfig",
+    "build_observations",
+    "build_observations_from_reports",
+]

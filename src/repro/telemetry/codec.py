@@ -1,0 +1,130 @@
+"""Binary codec for telemetry export messages.
+
+An export message (IPFIX-flavoured, simplified) is:
+
+====== ======= ==========================================
+offset size    field
+====== ======= ==========================================
+0      2       magic ``b"FK"``
+2      1       version (currently 1)
+3      1       reserved (0)
+4      2       record count (big-endian u16)
+6      2       payload length in bytes (big-endian u16)
+8      n       records
+8+n    4       checksum: sum of payload bytes mod 2^32
+====== ======= ==========================================
+
+Each record is a 24-byte fixed part - src, dst, packets_sent,
+retransmissions, rtt_us (u32 each), flags (u16), path length (u16) -
+followed by ``4 * path_len`` bytes of node ids.  A pathless record is
+24 bytes; a full 7-hop traced record is 52 bytes, the paper's figure.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+from ..errors import CodecError
+from .records import MAX_PATH_NODES, FLAG_HAS_PATH, FLAG_PROBE, FlowReport
+
+MAGIC = b"FK"
+VERSION = 1
+
+_HEADER = struct.Struct(">2sBBHH")
+_RECORD_FIXED = struct.Struct(">IIIIIHH")
+_CHECKSUM = struct.Struct(">I")
+
+#: Maximum records per message such that a message with full paths stays
+#: under a conservative 1400-byte UDP payload budget.
+MAX_RECORDS_PER_MESSAGE = (1400 - _HEADER.size - _CHECKSUM.size) // (
+    _RECORD_FIXED.size + 4 * MAX_PATH_NODES
+)
+
+
+def encode_record(report: FlowReport) -> bytes:
+    """Encode one report to its wire form."""
+    path = report.path or ()
+    fixed = _RECORD_FIXED.pack(
+        report.src,
+        report.dst,
+        report.packets_sent,
+        report.retransmissions,
+        report.rtt_us,
+        report.flags,
+        len(path),
+    )
+    if path:
+        fixed += struct.pack(f">{len(path)}I", *path)
+    return fixed
+
+
+def decode_record(payload: bytes, offset: int) -> Tuple[FlowReport, int]:
+    """Decode one record at ``offset``; returns (report, next offset)."""
+    end = offset + _RECORD_FIXED.size
+    if end > len(payload):
+        raise CodecError("truncated record header")
+    src, dst, sent, retx, rtt_us, flags, path_len = _RECORD_FIXED.unpack_from(
+        payload, offset
+    )
+    if path_len > MAX_PATH_NODES:
+        raise CodecError(f"record declares path of {path_len} nodes")
+    path = None
+    if flags & FLAG_HAS_PATH:
+        path_end = end + 4 * path_len
+        if path_end > len(payload):
+            raise CodecError("truncated record path")
+        path = struct.unpack_from(f">{path_len}I", payload, end)
+        end = path_end
+    elif path_len:
+        raise CodecError("pathless record declares a path length")
+    report = FlowReport(
+        src=src,
+        dst=dst,
+        packets_sent=sent,
+        retransmissions=retx,
+        rtt_us=rtt_us,
+        is_probe=bool(flags & FLAG_PROBE),
+        path=path,
+    )
+    return report, end
+
+
+def encode_message(reports: Sequence[FlowReport]) -> bytes:
+    """Encode a batch of reports into one export message."""
+    if len(reports) > 0xFFFF:
+        raise CodecError("too many records for one message")
+    payload = b"".join(encode_record(r) for r in reports)
+    if len(payload) > 0xFFFF:
+        raise CodecError("payload exceeds 64 KiB message limit")
+    header = _HEADER.pack(MAGIC, VERSION, 0, len(reports), len(payload))
+    checksum = _CHECKSUM.pack(sum(payload) & 0xFFFFFFFF)
+    return header + payload + checksum
+
+
+def decode_message(message: bytes) -> List[FlowReport]:
+    """Decode an export message, validating framing and checksum."""
+    if len(message) < _HEADER.size + _CHECKSUM.size:
+        raise CodecError("message shorter than header + checksum")
+    magic, version, _, count, payload_len = _HEADER.unpack_from(message, 0)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise CodecError(f"unsupported version {version}")
+    expected_len = _HEADER.size + payload_len + _CHECKSUM.size
+    if len(message) != expected_len:
+        raise CodecError(
+            f"message length {len(message)} != declared {expected_len}"
+        )
+    payload = message[_HEADER.size:_HEADER.size + payload_len]
+    (declared_sum,) = _CHECKSUM.unpack_from(message, _HEADER.size + payload_len)
+    if declared_sum != (sum(payload) & 0xFFFFFFFF):
+        raise CodecError("checksum mismatch")
+    reports: List[FlowReport] = []
+    offset = 0
+    for _ in range(count):
+        report, offset = decode_record(payload, offset)
+        reports.append(report)
+    if offset != len(payload):
+        raise CodecError("trailing bytes after final record")
+    return reports

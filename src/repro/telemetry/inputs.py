@@ -1,0 +1,269 @@
+"""Construction of inference inputs from telemetry (paper section 6.2).
+
+The four input types:
+
+* **A1** - active host<->core probes with known paths (NetBouncer-style).
+* **A2** - flows with >= 1 retransmission, with actively-traced exact
+  paths (007-style).  Only flagged flows are reported.
+* **P** - passive reports for all application flows; the path is
+  unknown, only the ECMP path set is ("vendor-specific ECMP hashing
+  obscures flows' exact paths").
+* **INT** - passive coverage *with* exact paths for every flow.
+
+Combinations compose by union with flagged-flow de-duplication: with
+``A2+P`` a flagged flow appears once, with its exact path; its
+unflagged peers appear with path sets.  ``INT`` supersedes ``P``/``A2``
+for passive flows.
+
+Per-flow vs per-packet analysis (paper section 3.2): the per-packet
+analysis reports (retransmissions, packets sent); the per-flow analysis
+reports a single bit - RTT above threshold - per flow, used for the
+link-flap scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TelemetryError
+from ..routing.ecmp import EcmpRouting
+from ..simulation.failures import PER_FLOW, PER_PACKET
+from ..simulation.latency import RTT_BAD_THRESHOLD_MS
+from ..topology.base import Topology
+from ..types import FlowObservation, FlowRecord, TelemetryKind
+from .records import FlowReport
+
+_KIND_BY_NAME = {kind.value: kind for kind in TelemetryKind}
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Which telemetry the inference input should contain, and how."""
+
+    kinds: FrozenSet[TelemetryKind]
+    include_devices: bool = True
+    analysis: str = PER_PACKET
+    rtt_threshold_ms: float = RTT_BAD_THRESHOLD_MS
+    passive_sampling: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.kinds:
+            raise TelemetryError("telemetry config needs at least one input kind")
+        if self.analysis not in (PER_PACKET, PER_FLOW):
+            raise TelemetryError(f"unknown analysis mode {self.analysis!r}")
+        if not 0.0 < self.passive_sampling <= 1.0:
+            raise TelemetryError("passive_sampling must be in (0, 1]")
+
+    @staticmethod
+    def from_spec(spec: str, **kwargs) -> "TelemetryConfig":
+        """Parse a paper-style spec like ``"A1+A2+P"`` or ``"INT"``."""
+        kinds = set()
+        for token in spec.split("+"):
+            token = token.strip()
+            if token not in _KIND_BY_NAME:
+                raise TelemetryError(
+                    f"unknown telemetry kind {token!r}; expected "
+                    f"{sorted(_KIND_BY_NAME)}"
+                )
+            kinds.add(_KIND_BY_NAME[token])
+        return TelemetryConfig(kinds=frozenset(kinds), **kwargs)
+
+    @property
+    def spec(self) -> str:
+        order = [TelemetryKind.A1, TelemetryKind.A2, TelemetryKind.INT,
+                 TelemetryKind.PASSIVE]
+        return "+".join(k.value for k in order if k in self.kinds)
+
+
+class _PathSetCache:
+    """Memoizes (src, dst) -> component path sets for passive flows."""
+
+    def __init__(self, topology: Topology, routing: EcmpRouting, include_devices: bool):
+        self._topo = topology
+        self._routing = routing
+        self._include_devices = include_devices
+        self._cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {}
+
+    def get(self, src: int, dst: int) -> Tuple[Tuple[int, ...], ...]:
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is None:
+            node_paths = self._routing.host_paths(src, dst)
+            cached = tuple(
+                self._topo.path_components(p, self._include_devices)
+                for p in node_paths
+            )
+            self._cache[key] = cached
+        return cached
+
+
+def _record_counts(
+    record, analysis: str, rtt_threshold_ms: float, rtt_ms: float
+) -> Tuple[int, int]:
+    """(bad, sent) under the configured analysis mode."""
+    if analysis == PER_PACKET:
+        return record_bad(record), record_sent(record)
+    return (1 if rtt_ms > rtt_threshold_ms else 0), 1
+
+
+def record_bad(record) -> int:
+    if isinstance(record, FlowReport):
+        return record.retransmissions
+    return record.bad_packets
+
+
+def record_sent(record) -> int:
+    return record.packets_sent
+
+
+def build_observations(
+    records: Sequence[FlowRecord],
+    topology: Topology,
+    routing: EcmpRouting,
+    config: TelemetryConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> List[FlowObservation]:
+    """Build inference observations from ground-truth simulator records.
+
+    The simulator knows each flow's exact path; this function decides
+    what each telemetry kind may reveal.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    kinds = config.kinds
+    want_a1 = TelemetryKind.A1 in kinds
+    want_a2 = TelemetryKind.A2 in kinds
+    want_p = TelemetryKind.PASSIVE in kinds
+    want_int = TelemetryKind.INT in kinds
+    cache = _PathSetCache(topology, routing, config.include_devices)
+
+    observations: List[FlowObservation] = []
+    for record in records:
+        bad, sent = _record_counts(
+            record, config.analysis, config.rtt_threshold_ms, record.rtt_ms
+        )
+        if record.is_probe:
+            if not (want_a1 or want_int):
+                continue
+            comps = topology.path_components(record.path, config.include_devices)
+            observations.append(
+                FlowObservation(
+                    path_set=(comps,),
+                    packets_sent=sent,
+                    bad_packets=bad,
+                    kind=TelemetryKind.A1,
+                )
+            )
+            continue
+
+        flagged = bad >= 1
+        if want_int:
+            if config.passive_sampling < 1.0 and rng.random() >= config.passive_sampling:
+                continue
+            comps = topology.path_components(record.path, config.include_devices)
+            observations.append(
+                FlowObservation(
+                    path_set=(comps,),
+                    packets_sent=sent,
+                    bad_packets=bad,
+                    kind=TelemetryKind.INT,
+                )
+            )
+        elif want_a2 and flagged:
+            comps = topology.path_components(record.path, config.include_devices)
+            observations.append(
+                FlowObservation(
+                    path_set=(comps,),
+                    packets_sent=sent,
+                    bad_packets=bad,
+                    kind=TelemetryKind.A2,
+                )
+            )
+        elif want_p:
+            if config.passive_sampling < 1.0 and rng.random() >= config.passive_sampling:
+                continue
+            path_set = cache.get(record.src, record.dst)
+            observations.append(
+                FlowObservation(
+                    path_set=path_set,
+                    packets_sent=sent,
+                    bad_packets=bad,
+                    kind=TelemetryKind.PASSIVE,
+                )
+            )
+    return observations
+
+
+def build_observations_from_reports(
+    reports: Sequence[FlowReport],
+    topology: Topology,
+    routing: EcmpRouting,
+    config: TelemetryConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> List[FlowObservation]:
+    """Build inference observations from collector-side wire reports.
+
+    Reports only carry a path when the agent traced one; a kind that
+    needs exact paths (A1/A2/INT) skips pathless reports, and passive
+    handling falls back to the ECMP path set for (src, dst).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    kinds = config.kinds
+    want_a1 = TelemetryKind.A1 in kinds
+    want_a2 = TelemetryKind.A2 in kinds
+    want_p = TelemetryKind.PASSIVE in kinds
+    want_int = TelemetryKind.INT in kinds
+    cache = _PathSetCache(topology, routing, config.include_devices)
+
+    observations: List[FlowObservation] = []
+    for report in reports:
+        rtt_ms = report.rtt_us / 1000.0
+        bad, sent = _record_counts(
+            report, config.analysis, config.rtt_threshold_ms, rtt_ms
+        )
+        has_path = report.path is not None
+        if report.is_probe:
+            if not (want_a1 or want_int) or not has_path:
+                continue
+            comps = topology.path_components(report.path, config.include_devices)
+            observations.append(
+                FlowObservation(
+                    path_set=(comps,), packets_sent=sent, bad_packets=bad,
+                    kind=TelemetryKind.A1,
+                )
+            )
+            continue
+        flagged = bad >= 1
+        if want_int and has_path:
+            if config.passive_sampling < 1.0 and rng.random() >= config.passive_sampling:
+                continue
+            comps = topology.path_components(report.path, config.include_devices)
+            observations.append(
+                FlowObservation(
+                    path_set=(comps,), packets_sent=sent, bad_packets=bad,
+                    kind=TelemetryKind.INT,
+                )
+            )
+        elif want_a2 and flagged and has_path:
+            comps = topology.path_components(report.path, config.include_devices)
+            observations.append(
+                FlowObservation(
+                    path_set=(comps,), packets_sent=sent, bad_packets=bad,
+                    kind=TelemetryKind.A2,
+                )
+            )
+        elif want_p:
+            if config.passive_sampling < 1.0 and rng.random() >= config.passive_sampling:
+                continue
+            path_set = cache.get(report.src, report.dst)
+            observations.append(
+                FlowObservation(
+                    path_set=path_set, packets_sent=sent, bad_packets=bad,
+                    kind=TelemetryKind.PASSIVE,
+                )
+            )
+    return observations

@@ -1,0 +1,25 @@
+"""Topology substrate: graph model and datacenter fabric generators."""
+
+from .base import Topology, TopologyBuilder
+from .clos import fat_tree, paper_simulation_clos, three_tier_clos
+from .equivalence import (
+    link_coverage_signatures,
+    link_equivalence_classes,
+    theoretical_max_precision,
+)
+from .irregular import omit_random_links
+from .leafspine import leaf_spine, testbed
+
+__all__ = [
+    "Topology",
+    "TopologyBuilder",
+    "fat_tree",
+    "three_tier_clos",
+    "paper_simulation_clos",
+    "leaf_spine",
+    "testbed",
+    "omit_random_links",
+    "link_equivalence_classes",
+    "link_coverage_signatures",
+    "theoretical_max_precision",
+]

@@ -1,0 +1,123 @@
+"""Clos / fat-tree topology generators.
+
+The paper's simulations use a "standard 3-tiered Clos topology [7] with
+2500 40Gbps links, ECMP routing and 3x oversubscription at ToRs"
+(section 6.3).  Two generators cover that space:
+
+* :func:`fat_tree` - the classic k-ary fat-tree of Al-Fares et al. [7],
+  used for the runtime-scaling sweeps (Fig. 4c/4d) because it has a
+  single size knob.
+* :func:`three_tier_clos` - a generic pod-based 3-tier Clos with
+  independent pod/switch/host counts, used to dial in oversubscription
+  and link counts to match the paper's simulation setup.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from .base import Topology, TopologyBuilder
+
+
+def fat_tree(k: int, hosts_per_edge: int = 0) -> Topology:
+    """Build a k-ary fat-tree.
+
+    ``k`` must be even.  The tree has ``k`` pods, each with ``k/2`` edge
+    (ToR) and ``k/2`` aggregation switches, ``(k/2)^2`` core switches,
+    and ``k/2`` hosts per edge switch (overridable via
+    ``hosts_per_edge`` to change oversubscription).
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError(f"fat-tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    if hosts_per_edge <= 0:
+        hosts_per_edge = half
+
+    builder = TopologyBuilder()
+    cores = [
+        [builder.add_node(f"core{g}_{i}", "core") for i in range(half)]
+        for g in range(half)
+    ]
+    for pod in range(k):
+        agg_nodes = [builder.add_node(f"p{pod}_agg{a}", "agg") for a in range(half)]
+        tor_nodes = [builder.add_node(f"p{pod}_tor{t}", "tor") for t in range(half)]
+        for agg in agg_nodes:
+            for tor in tor_nodes:
+                builder.add_link(tor, agg)
+        # Aggregation switch a of every pod connects to core group a.
+        for a, agg in enumerate(agg_nodes):
+            for core in cores[a]:
+                builder.add_link(agg, core)
+        for t, tor in enumerate(tor_nodes):
+            for h in range(hosts_per_edge):
+                host = builder.add_node(f"p{pod}_tor{t}_h{h}", "host")
+                builder.add_link(host, tor)
+    return builder.build()
+
+
+def three_tier_clos(
+    pods: int,
+    tors_per_pod: int,
+    aggs_per_pod: int,
+    core_groups: int = 0,
+    cores_per_group: int = 1,
+    hosts_per_tor: int = 0,
+) -> Topology:
+    """Build a generic pod-based 3-tier Clos.
+
+    Every ToR connects to every aggregation switch in its pod.  Cores are
+    arranged in ``core_groups`` groups (default: one group per agg
+    position); aggregation switch ``a`` of every pod connects to all
+    cores of group ``a % core_groups``.
+
+    ``hosts_per_tor`` defaults to ``3 * aggs_per_pod`` which yields the
+    paper's 3x oversubscription at ToRs (3 hosts of downlink capacity per
+    uplink).
+    """
+    if pods < 1 or tors_per_pod < 1 or aggs_per_pod < 1:
+        raise TopologyError("pods, tors_per_pod and aggs_per_pod must be >= 1")
+    if core_groups <= 0:
+        core_groups = aggs_per_pod
+    if cores_per_group < 1:
+        raise TopologyError("cores_per_group must be >= 1")
+    if hosts_per_tor <= 0:
+        hosts_per_tor = 3 * aggs_per_pod
+
+    builder = TopologyBuilder()
+    core_nodes = [
+        [builder.add_node(f"core{g}_{i}", "core") for i in range(cores_per_group)]
+        for g in range(core_groups)
+    ]
+    for pod in range(pods):
+        aggs = [builder.add_node(f"p{pod}_agg{a}", "agg") for a in range(aggs_per_pod)]
+        tors = [builder.add_node(f"p{pod}_tor{t}", "tor") for t in range(tors_per_pod)]
+        for tor in tors:
+            for agg in aggs:
+                builder.add_link(tor, agg)
+        for a, agg in enumerate(aggs):
+            for core in core_nodes[a % core_groups]:
+                builder.add_link(agg, core)
+        for t, tor in enumerate(tors):
+            for h in range(hosts_per_tor):
+                host = builder.add_node(f"p{pod}_tor{t}_h{h}", "host")
+                builder.add_link(host, tor)
+    return builder.build()
+
+
+def paper_simulation_clos(scale: int = 1) -> Topology:
+    """The 3-tier Clos shaped like the paper's NS3 simulation topology.
+
+    At ``scale=1`` this produces a Clos in the same regime as the paper's
+    2500-link topology: 16 pods x 8 ToRs x 4 aggs, 28 cores, 12 hosts
+    per ToR for 3x oversubscription => 2496 links.  Larger scales
+    multiply the pod count.
+    """
+    if scale < 1:
+        raise TopologyError("scale must be >= 1")
+    return three_tier_clos(
+        pods=16 * scale,
+        tors_per_pod=8,
+        aggs_per_pod=4,
+        core_groups=4,
+        cores_per_group=7,
+        hosts_per_tor=12,
+    )

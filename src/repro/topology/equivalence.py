@@ -1,0 +1,93 @@
+"""Link equivalence classes under ECMP (sections 7.6 and Fig. 5c).
+
+In a symmetric Clos, some links "participate in the same ECMP paths" and
+can never be told apart by passive-only telemetry: every flow whose path
+set touches one also touches the other in exactly the same way.  For
+example, all uplinks of one leaf switch form one class.  When links are
+omitted, symmetry breaks and classes shrink - which is why Flock (P)'s
+accuracy *improves* with irregularity (Fig. 5a/5b).
+
+Two links are equivalent here iff they have identical *coverage
+signatures*: for every ECMP path set in the routing universe (one per
+rack pair), the number of paths of that set containing link ``a`` equals
+the number containing link ``b``.  This is exactly the observational
+indistinguishability of the paper's passive model, where a flow's
+likelihood depends only on how many of its candidate paths a hypothesis
+fails (section 3.3, memoization note).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from .base import Topology
+
+
+def link_coverage_signatures(
+    topology: Topology, routing
+) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+    """Map each switch-switch link to its ECMP coverage signature.
+
+    ``routing`` must provide ``switch_paths(src_rack, dst_rack)``
+    returning the ECMP node-paths between two rack switches (see
+    :class:`repro.routing.ecmp.EcmpRouting`).
+    """
+    per_link: Dict[int, List[Tuple[int, int]]] = {
+        lid: [] for lid in topology.switch_switch_links()
+    }
+    for set_id, (a, b) in enumerate(combinations(topology.racks, 2)):
+        counts: Dict[int, int] = {}
+        for path in routing.switch_paths(a, b):
+            for u, v in zip(path, path[1:]):
+                lid = topology.link_id(u, v)
+                counts[lid] = counts.get(lid, 0) + 1
+        for lid, count in counts.items():
+            if lid in per_link:
+                per_link[lid].append((set_id, count))
+    return {lid: tuple(sig) for lid, sig in per_link.items()}
+
+
+def link_equivalence_classes(topology: Topology, routing) -> List[Tuple[int, ...]]:
+    """Group switch-switch links into ECMP-indistinguishability classes."""
+    signatures = link_coverage_signatures(topology, routing)
+    groups: Dict[Tuple[Tuple[int, int], ...], List[int]] = {}
+    for lid, signature in signatures.items():
+        groups.setdefault(signature, []).append(lid)
+    return sorted(tuple(sorted(g)) for g in groups.values())
+
+
+def class_of(classes: Iterable[Tuple[int, ...]], link: int) -> Tuple[int, ...]:
+    """The equivalence class containing ``link`` (singleton if absent)."""
+    for group in classes:
+        if link in group:
+            return group
+    return (link,)
+
+
+def theoretical_max_precision(
+    classes: Iterable[Tuple[int, ...]], failed_links: Iterable[int]
+) -> float:
+    """Best achievable precision for a passive-only scheme (Fig. 5c).
+
+    A passive scheme cannot distinguish links within a class, so to reach
+    full recall it must report the entire class of every failed link; the
+    resulting precision is ``|failed| / |union of their classes|``.
+    Returns 1.0 when nothing failed.
+    """
+    failed = set(failed_links)
+    if not failed:
+        return 1.0
+    blamed = set()
+    for link in failed:
+        blamed.update(class_of(classes, link))
+    return len(failed) / len(blamed)
+
+
+def mean_class_size(classes: Iterable[Tuple[int, ...]]) -> float:
+    """Average class size weighted by links (a symmetry summary metric)."""
+    sizes = [len(group) for group in classes]
+    total_links = sum(sizes)
+    if total_links == 0:
+        return 0.0
+    return sum(size * size for size in sizes) / total_links

@@ -1,0 +1,98 @@
+"""Irregular Clos topologies (section 7.6).
+
+"Real world datacenters are rarely perfectly symmetric like a Clos
+topology and typically have asymmetries due to failures, policies,
+piecemeal upgrades, etc.  To see the effect of topology irregularity,
+we omit links from the fat tree."
+
+:func:`omit_random_links` removes a fraction of the switch-to-switch
+links while preserving connectivity and every ToR's ability to reach the
+rest of the fabric.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import TopologyError
+from .base import RACK_ROLES, Topology
+
+
+def omit_random_links(
+    topology: Topology,
+    fraction: float,
+    rng: np.random.Generator,
+    max_attempts: int = 50,
+) -> Tuple[Topology, Tuple[Tuple[int, int], ...]]:
+    """Remove ``fraction`` of the switch-switch links at random.
+
+    Host-facing links are never removed (a host with no link is not an
+    "irregular datacenter", it is a dead server).  A removal set is
+    rejected and re-drawn if it would disconnect the network or leave a
+    rack switch without an uplink; after ``max_attempts`` rejections the
+    most recent connected candidate with the largest feasible removal set
+    is returned.
+
+    Returns the degraded topology and the removed links as node pairs
+    (link ids are renumbered by the removal, node pairs are stable).
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise TopologyError(f"fraction must be in [0, 1), got {fraction}")
+    candidates = list(topology.switch_switch_links())
+    n_remove = int(round(fraction * len(candidates)))
+    if n_remove == 0:
+        return topology, ()
+    if n_remove >= len(candidates):
+        raise TopologyError("cannot remove every switch-switch link")
+
+    for _ in range(max_attempts):
+        chosen = rng.choice(len(candidates), size=n_remove, replace=False)
+        doomed = [candidates[i] for i in chosen]
+        if not _keeps_rack_uplinks(topology, doomed):
+            continue
+        degraded = topology.without_links(doomed)
+        if degraded.is_connected():
+            pairs = tuple(topology.endpoints(lid) for lid in doomed)
+            return degraded, pairs
+
+    # Fall back to a greedy safe removal: drop links one at a time,
+    # skipping any link whose removal would break the invariants.
+    doomed_greedy: List[int] = []
+    order = rng.permutation(len(candidates))
+    for i in order:
+        trial = doomed_greedy + [candidates[i]]
+        if not _keeps_rack_uplinks(topology, trial):
+            continue
+        if topology.without_links(trial).is_connected():
+            doomed_greedy = trial
+        if len(doomed_greedy) == n_remove:
+            break
+    degraded = topology.without_links(doomed_greedy)
+    pairs = tuple(topology.endpoints(lid) for lid in doomed_greedy)
+    return degraded, pairs
+
+
+def _keeps_rack_uplinks(topology: Topology, doomed: List[int]) -> bool:
+    """Check every rack switch keeps at least one switch-facing link."""
+    doomed_set = set(doomed)
+    for rack in topology.racks:
+        uplinks = [
+            lid
+            for nbr, lid in topology.neighbors(rack)
+            if topology.role(nbr) not in ("host",)
+        ]
+        if all(lid in doomed_set for lid in uplinks):
+            return False
+        # Aggs reachable from this rack must retain one path upward too;
+        # global connectivity is validated by the caller.
+    for node in topology.switches:
+        if topology.role(node) in RACK_ROLES:
+            continue
+        remaining = [
+            lid for _, lid in topology.neighbors(node) if lid not in doomed_set
+        ]
+        if not remaining:
+            return False
+    return True

@@ -1,0 +1,37 @@
+"""2-tier leaf-spine topology, matching the paper's hardware testbed.
+
+Section 6.3: "We use a standard 2-tier Clos topology with 2 spines, 8
+leaf racks and 6 hosts per rack" (47 traffic hosts + 1 collector host).
+:func:`testbed` reproduces exactly that shape; :func:`leaf_spine` is the
+general generator.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from .base import Topology, TopologyBuilder
+
+
+def leaf_spine(n_spines: int, n_leaves: int, hosts_per_leaf: int) -> Topology:
+    """Build a full-mesh leaf-spine fabric.
+
+    Every leaf connects to every spine; ``hosts_per_leaf`` hosts hang off
+    each leaf.
+    """
+    if n_spines < 1 or n_leaves < 1 or hosts_per_leaf < 1:
+        raise TopologyError("n_spines, n_leaves and hosts_per_leaf must be >= 1")
+    builder = TopologyBuilder()
+    spines = [builder.add_node(f"spine{s}", "spine") for s in range(n_spines)]
+    for leaf_idx in range(n_leaves):
+        leaf = builder.add_node(f"leaf{leaf_idx}", "leaf")
+        for spine in spines:
+            builder.add_link(leaf, spine)
+        for h in range(hosts_per_leaf):
+            host = builder.add_node(f"leaf{leaf_idx}_h{h}", "host")
+            builder.add_link(host, leaf)
+    return builder.build()
+
+
+def testbed() -> Topology:
+    """The paper's hardware testbed: 2 spines, 8 leaves, 6 hosts per leaf."""
+    return leaf_spine(n_spines=2, n_leaves=8, hosts_per_leaf=6)

@@ -1,0 +1,16 @@
+"""Traffic substrate: matrices, flow specs, and active probe plans."""
+
+from .flows import FlowSpec, generate_passive_flows, pareto_flow_packets
+from .matrix import SkewedTraffic, TrafficMatrix, UniformTraffic
+from .probes import a1_probe_plan, probes_per_link_coverage
+
+__all__ = [
+    "FlowSpec",
+    "generate_passive_flows",
+    "pareto_flow_packets",
+    "TrafficMatrix",
+    "UniformTraffic",
+    "SkewedTraffic",
+    "a1_probe_plan",
+    "probes_per_link_coverage",
+]

@@ -1,0 +1,90 @@
+"""Active probe plans.
+
+A1 (section 6.2): "Active probes between end-hosts and the core switches
+with known paths, as designed for NetBouncer."  Each probe targets one
+core switch via one specific up-path (probes pin their path, so the
+observation is exact), and the plan cycles hosts x cores x ECMP choices
+so that every link receives probe coverage - NetBouncer's "probes
+uniformly from hosts to core switches".
+
+A2 flagging (007-style) happens after simulation, in
+:mod:`repro.telemetry.inputs`, because it depends on which passive flows
+saw retransmissions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import TrafficError
+from ..routing.ecmp import EcmpRouting
+from ..topology.base import Topology
+from .flows import FlowSpec
+
+
+def a1_probe_plan(
+    topology: Topology,
+    routing: EcmpRouting,
+    n_probes: int,
+    rng: np.random.Generator,
+    packets_per_probe: int = 40,
+    hosts: Optional[List[int]] = None,
+) -> List[FlowSpec]:
+    """Generate ``n_probes`` host->core probe flows with pinned paths.
+
+    The plan enumerates (host, core) pairs round-robin, shuffled once so
+    truncated plans still cover the fabric evenly, and rotates through
+    each pair's ECMP up-paths deterministically.  Probe volume in the
+    paper is "40 packets per second" per probe flow; ``packets_per_probe``
+    sets the per-report packet count.
+    """
+    if n_probes < 0:
+        raise TrafficError("n_probes must be non-negative")
+    if packets_per_probe < 1:
+        raise TrafficError("packets_per_probe must be >= 1")
+    probe_hosts = list(hosts) if hosts is not None else list(topology.hosts)
+    cores = list(topology.cores)
+    if not probe_hosts or not cores:
+        raise TrafficError("A1 probing needs at least one host and one core")
+
+    pairs = [(h, c) for h in probe_hosts for c in cores]
+    order = rng.permutation(len(pairs))
+    rotation: dict = {}
+    specs: List[FlowSpec] = []
+    i = 0
+    while len(specs) < n_probes:
+        host, core = pairs[order[i % len(pairs)]]
+        i += 1
+        paths = routing.probe_paths(host, core)
+        turn = rotation.get((host, core), 0)
+        rotation[(host, core)] = turn + 1
+        pinned = paths[turn % len(paths)]
+        specs.append(
+            FlowSpec(
+                src=host,
+                dst=core,
+                packets=packets_per_probe,
+                paths=(pinned,),
+                is_probe=True,
+            )
+        )
+    return specs
+
+
+def probes_per_link_coverage(topology: Topology, specs: List[FlowSpec]) -> float:
+    """Fraction of switch-switch links covered by at least one probe.
+
+    A sanity metric for probe plans: NetBouncer's inference needs every
+    link probed, otherwise uncovered links are unobservable.
+    """
+    covered = set()
+    for spec in specs:
+        for path in spec.paths:
+            for u, v in zip(path, path[1:]):
+                covered.add(topology.link_id(u, v))
+    fabric = set(topology.switch_switch_links())
+    if not fabric:
+        return 1.0
+    return len(covered & fabric) / len(fabric)

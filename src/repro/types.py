@@ -1,0 +1,212 @@
+"""Shared value types used across the Flock reproduction.
+
+The types here are the "wire" vocabulary of the system: what the simulator
+emits, what the telemetry agents report, and what the inference schemes
+predict.  Algorithm-internal structures (e.g. the interned path tables used
+by inference) live next to the algorithms that own them.
+
+Component identifiers
+---------------------
+All fault-localization schemes operate over *components*: links and devices.
+A component id is a plain ``int`` in a unified id space defined by the
+topology: ids ``[0, n_links)`` are links, and id ``n_links + node`` is the
+device component of node ``node``.  See
+:meth:`repro.topology.base.Topology.device_component`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+
+class ComponentKind(enum.Enum):
+    """Kind of a failable network component."""
+
+    LINK = "link"
+    DEVICE = "device"
+
+
+class TelemetryKind(enum.Enum):
+    """The four input-telemetry types from the paper (section 6.2).
+
+    * ``A1`` - active probes between hosts and core switches, exact paths
+      known (NetBouncer-style probing plan).
+    * ``A2`` - reports about flows with at least one retransmission, with
+      actively-traced exact paths (007-style).
+    * ``PASSIVE`` - passive reports for all application flows; only the set
+      of possible ECMP paths is known.
+    * ``INT`` - in-band network telemetry: passive coverage with exact
+      paths for every reported flow.
+    """
+
+    A1 = "A1"
+    A2 = "A2"
+    PASSIVE = "P"
+    INT = "INT"
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """A single simulated flow, as produced by the flow-level simulator.
+
+    This is the "ground truth" record: it knows the exact path the flow
+    took (``path`` is a tuple of node ids, endpoints included).  Telemetry
+    construction (:mod:`repro.telemetry.inputs`) decides how much of this
+    is revealed to each scheme.
+
+    Attributes
+    ----------
+    src, dst:
+        Host node ids of the flow endpoints.
+    packets_sent:
+        Total packets the flow transmitted (``t`` in the paper's Eq. 1).
+    bad_packets:
+        Packets that experienced a problem - retransmissions for the
+        per-packet analysis (``r`` in Eq. 1).
+    path:
+        The exact node sequence the flow traversed.
+    rtt_ms:
+        Mean observed round-trip time in milliseconds (used by the
+        per-flow latency analysis, section 3.2).
+    is_probe:
+        True for active probe flows (A1-style), which always know their
+        path.
+    """
+
+    src: int
+    dst: int
+    packets_sent: int
+    bad_packets: int
+    path: Tuple[int, ...]
+    rtt_ms: float = 0.0
+    is_probe: bool = False
+
+    def __post_init__(self) -> None:
+        if self.packets_sent < 0:
+            raise ValueError("packets_sent must be non-negative")
+        if not 0 <= self.bad_packets <= self.packets_sent:
+            raise ValueError(
+                "bad_packets must be within [0, packets_sent], got "
+                f"{self.bad_packets}/{self.packets_sent}"
+            )
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of packets that were bad (0.0 for an empty flow)."""
+        if self.packets_sent == 0:
+            return 0.0
+        return self.bad_packets / self.packets_sent
+
+
+@dataclass(frozen=True)
+class FlowObservation:
+    """One flow as seen by an inference scheme.
+
+    ``path_set`` contains one or more candidate paths, each expressed as a
+    tuple of *component ids* (links, and devices when device modeling is
+    enabled).  An exact-path observation has ``len(path_set) == 1``.
+
+    This is deliberately scheme-agnostic: Flock consumes the full path
+    set, while 007 and NetBouncer only accept observations whose path is
+    exact (their published algorithms cannot model path uncertainty).
+    """
+
+    path_set: Tuple[Tuple[int, ...], ...]
+    packets_sent: int
+    bad_packets: int
+    kind: TelemetryKind = TelemetryKind.PASSIVE
+
+    def __post_init__(self) -> None:
+        if not self.path_set:
+            raise ValueError("a flow observation needs at least one path")
+        if not 0 <= self.bad_packets <= self.packets_sent:
+            raise ValueError("bad_packets must be within [0, packets_sent]")
+
+    @property
+    def exact_path(self) -> bool:
+        """Whether the flow's path is known exactly."""
+        return len(self.path_set) == 1
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """The output of a localization scheme: the inferred failed set.
+
+    Attributes
+    ----------
+    components:
+        Predicted failed component ids (hypothesis ``H`` in the paper).
+    scores:
+        Optional per-component diagnostic scores (votes for 007, estimated
+        drop rates for NetBouncer, likelihood gains for Flock).
+    log_likelihood:
+        For PGM schemes, the normalized log likelihood of the returned
+        hypothesis.
+    hypotheses_scanned:
+        Number of hypotheses whose likelihood was (conceptually) evaluated;
+        used by the scan-rate experiment of section 7.8.
+    """
+
+    components: FrozenSet[int]
+    scores: Optional[dict] = None
+    log_likelihood: float = 0.0
+    hypotheses_scanned: int = 0
+
+    @staticmethod
+    def empty() -> "Prediction":
+        """The no-failure prediction."""
+        return Prediction(components=frozenset())
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """The actual failed components and their drop rates for one trace."""
+
+    failed_links: FrozenSet[int] = frozenset()
+    failed_devices: FrozenSet[int] = frozenset()
+    drop_rates: dict = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def failed_components(self) -> FrozenSet[int]:
+        """Union of failed link components and failed device components."""
+        return self.failed_links | self.failed_devices
+
+    @property
+    def has_failures(self) -> bool:
+        return bool(self.failed_links or self.failed_devices)
+
+
+def validate_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1] and return it."""
+    if not (isinstance(value, (int, float)) and math.isfinite(value)):
+        raise ValueError(f"{name} must be a finite number, got {value!r}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+def path_links_and_devices(
+    nodes: Sequence[int],
+    n_links: int,
+    link_lookup,
+    switch_mask: Sequence[bool],
+    include_devices: bool,
+) -> Tuple[int, ...]:
+    """Convert a node-sequence path into a sorted component-id tuple.
+
+    ``link_lookup(u, v)`` must return the link id for an adjacent node
+    pair.  Device components are included only for nodes flagged True in
+    ``switch_mask`` (hosts are never failable components in this model).
+    Repeated traversals (e.g. probe bounce paths) collapse into a set.
+    """
+    comps = set()
+    for u, v in zip(nodes, nodes[1:]):
+        comps.add(link_lookup(u, v))
+    if include_devices:
+        for node in nodes:
+            if switch_mask[node]:
+                comps.add(n_links + node)
+    return tuple(sorted(comps))

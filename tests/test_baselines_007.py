@@ -1,0 +1,77 @@
+"""Tests for the 007 voting baseline."""
+
+import pytest
+
+from repro.baselines.b007 import Vote007
+from repro.core.problem import InferenceProblem
+from repro.errors import InferenceError
+from repro.types import FlowObservation
+
+
+def problem_from(observations, n_components=10, n_links=10):
+    return InferenceProblem.from_observations(
+        observations, n_components, n_links
+    )
+
+
+class TestVoting:
+    def test_hand_computed_votes(self):
+        # Flow A (bad) over links {0,1,2}: 1/3 each.
+        # Flow B (bad) over links {1,2}:   1/2 each.
+        # Flow C (clean) over {3}:          no votes.
+        observations = [
+            FlowObservation(((0, 1, 2),), 100, 1),
+            FlowObservation(((1, 2),), 100, 2),
+            FlowObservation(((3,),), 100, 0),
+        ]
+        pred = Vote007(threshold=0.5).localize(problem_from(observations))
+        votes = pred.scores
+        assert votes[0] == pytest.approx(1 / 3)
+        assert votes[1] == pytest.approx(1 / 3 + 1 / 2)
+        assert votes[2] == pytest.approx(1 / 3 + 1 / 2)
+        assert 3 not in votes
+
+    def test_threshold_selects_top(self):
+        observations = [
+            FlowObservation(((0,),), 10, 1),
+            FlowObservation(((0,),), 10, 1),
+            FlowObservation(((1,),), 10, 1),
+        ]
+        strict = Vote007(threshold=0.9).localize(problem_from(observations))
+        assert strict.components == frozenset({0})
+        loose = Vote007(threshold=0.4).localize(problem_from(observations))
+        assert loose.components == frozenset({0, 1})
+
+    def test_grouped_flows_weighted(self):
+        # Five identical bad flows group to weight 5: votes scale.
+        observations = [FlowObservation(((0, 1),), 10, 1)] * 5
+        pred = Vote007(threshold=0.5).localize(problem_from(observations))
+        assert pred.scores[0] == pytest.approx(2.5)
+
+    def test_ignores_pathset_flows(self):
+        # 007 cannot ingest path-uncertain flows.
+        observations = [
+            FlowObservation(((0,), (1,)), 10, 5),
+        ]
+        pred = Vote007().localize(problem_from(observations))
+        assert pred.components == frozenset()
+
+    def test_ignores_devices(self):
+        # Component 9 is a device (n_links=9 < 10): no votes for it.
+        observations = [FlowObservation(((0, 9),), 10, 1)]
+        pred = Vote007(threshold=0.1).localize(
+            problem_from(observations, n_components=10, n_links=9)
+        )
+        assert 9 not in pred.components
+        assert 0 in pred.components
+
+    def test_clean_network_empty(self):
+        observations = [FlowObservation(((0, 1),), 100, 0)] * 10
+        pred = Vote007().localize(problem_from(observations))
+        assert pred.components == frozenset()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InferenceError):
+            Vote007(threshold=0.0)
+        with pytest.raises(InferenceError):
+            Vote007(threshold=1.5)

@@ -1,0 +1,108 @@
+"""Tests for the NetBouncer coordinate-descent baseline."""
+
+import pytest
+
+from repro.baselines.netbouncer import NetBouncer
+from repro.core.problem import InferenceProblem
+from repro.errors import InferenceError
+from repro.types import FlowObservation
+
+
+def problem_from(observations, n_components=10, n_links=10):
+    return InferenceProblem.from_observations(
+        observations, n_components, n_links
+    )
+
+
+class TestEstimation:
+    def test_clean_links_estimated_healthy(self):
+        observations = [
+            FlowObservation(((0, 1),), 1000, 0),
+            FlowObservation(((1, 2),), 1000, 0),
+        ]
+        pred = NetBouncer(regularization=0.0).localize(
+            problem_from(observations)
+        )
+        assert pred.components == frozenset()
+        for link in (0, 1, 2):
+            assert pred.scores[link] == pytest.approx(0.0, abs=1e-6)
+
+    def test_isolates_lossy_link(self):
+        # Link 1 is shared by two lossy paths; links 0 and 2 also appear
+        # on clean paths, so the solver must pin the loss on link 1.
+        observations = [
+            FlowObservation(((0, 1),), 10_000, 100),
+            FlowObservation(((1, 2),), 10_000, 100),
+            FlowObservation(((0,),), 10_000, 0),
+            FlowObservation(((2,),), 10_000, 0),
+        ]
+        pred = NetBouncer(
+            regularization=0.0, drop_threshold=5e-3
+        ).localize(problem_from(observations))
+        assert pred.components == frozenset({1})
+        assert pred.scores[1] == pytest.approx(0.01, rel=0.15)
+
+    def test_estimates_drop_rate_magnitude(self):
+        observations = [FlowObservation(((4,),), 50_000, 250)]
+        pred = NetBouncer(regularization=0.0, drop_threshold=1e-3).localize(
+            problem_from(observations)
+        )
+        assert pred.scores[4] == pytest.approx(0.005, rel=0.1)
+
+    def test_regularizer_denoises(self):
+        # A single stray drop out of 2000 packets: the x(1-x) penalty
+        # should snap the estimate to healthy.
+        observations = [FlowObservation(((0,),), 2000, 1)]
+        noisy = NetBouncer(regularization=0.0, drop_threshold=3e-4).localize(
+            problem_from(observations)
+        )
+        snapped = NetBouncer(regularization=0.5, drop_threshold=3e-4).localize(
+            problem_from(observations)
+        )
+        assert noisy.components == frozenset({0})
+        assert snapped.components == frozenset()
+
+    def test_ignores_pathset_flows(self):
+        observations = [FlowObservation(((0,), (1,)), 100, 50)]
+        pred = NetBouncer().localize(problem_from(observations))
+        assert pred.components == frozenset()
+
+
+class TestDeviceRule:
+    def test_device_blamed_when_links_fail(self):
+        # Links 0 and 1 both lossy; both paths cross device 5.
+        observations = [
+            FlowObservation(((0, 5),), 10_000, 100),
+            FlowObservation(((1, 5),), 10_000, 100),
+        ]
+        pred = NetBouncer(
+            regularization=0.0, drop_threshold=5e-3, device_frac=0.9
+        ).localize(problem_from(observations, n_components=6, n_links=5))
+        assert 5 in pred.components
+
+    def test_device_spared_when_minority_fails(self):
+        observations = [
+            FlowObservation(((0, 5),), 10_000, 100),
+            FlowObservation(((1, 5),), 10_000, 0),
+            FlowObservation(((2, 5),), 10_000, 0),
+        ]
+        pred = NetBouncer(
+            regularization=0.0, drop_threshold=5e-3, device_frac=0.5
+        ).localize(problem_from(observations, n_components=6, n_links=5))
+        assert 5 not in pred.components
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        with pytest.raises(InferenceError):
+            NetBouncer(regularization=-1.0)
+        with pytest.raises(InferenceError):
+            NetBouncer(drop_threshold=0.0)
+        with pytest.raises(InferenceError):
+            NetBouncer(device_frac=0.0)
+        with pytest.raises(InferenceError):
+            NetBouncer(max_sweeps=0)
+
+    def test_empty_problem(self):
+        pred = NetBouncer().localize(problem_from([]))
+        assert pred.components == frozenset()

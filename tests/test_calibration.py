@@ -1,0 +1,112 @@
+"""Tests for grid calibration and the section 5.2 selection rule."""
+
+import pytest
+
+from repro.calibration import (
+    CalibrationPoint,
+    best_at_precision,
+    calibrate,
+    choose_operating_point,
+    iter_grid,
+    pareto_front,
+    vote007_factory,
+)
+from repro.errors import CalibrationError
+from repro.simulation import SilentLinkDrops
+from repro.telemetry import TelemetryConfig
+from repro.eval.scenarios import make_trace
+
+
+def point(precision, recall, **params):
+    return CalibrationPoint(params=params, precision=precision, recall=recall)
+
+
+class TestGrid:
+    def test_iter_grid_product(self):
+        combos = iter_grid({"a": [1, 2], "b": [10]})
+        assert combos == [{"a": 1, "b": 10}, {"a": 2, "b": 10}]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(CalibrationError):
+            iter_grid({})
+        with pytest.raises(CalibrationError):
+            iter_grid({"a": []})
+
+    def test_calibrate_runs_factory_over_grid(
+        self, small_fat_tree, ft_routing
+    ):
+        traces = [
+            make_trace(
+                small_fat_tree, ft_routing,
+                SilentLinkDrops(n_failures=1, min_rate=5e-3, max_rate=1e-2),
+                seed=71, n_passive=1500, n_probes=200,
+            )
+        ]
+        points = calibrate(
+            vote007_factory,
+            {"threshold": [0.3, 0.9]},
+            traces,
+            TelemetryConfig.from_spec("A2"),
+        )
+        assert len(points) == 2
+        # A lower threshold can only blame more links: recall is
+        # monotone non-increasing in the threshold.
+        assert points[0].recall >= points[1].recall
+
+    def test_calibrate_requires_traces(self):
+        with pytest.raises(CalibrationError):
+            calibrate(
+                vote007_factory, {"threshold": [0.5]}, [],
+                TelemetryConfig.from_spec("A2"),
+            )
+
+
+class TestSelection:
+    def test_paper_rule_prefers_precision(self):
+        points = [
+            point(0.99, 0.6, tag=1),
+            point(0.95, 0.9, tag=2),
+            point(0.70, 1.0, tag=3),
+        ]
+        chosen = choose_operating_point(points, start_precision=0.98)
+        assert chosen.params["tag"] == 1
+
+    def test_relaxes_when_recall_too_low(self):
+        points = [
+            point(0.99, 0.1, tag=1),   # precision fine, recall too low
+            point(0.95, 0.9, tag=2),
+        ]
+        chosen = choose_operating_point(
+            points, start_precision=0.98, min_recall=0.25
+        )
+        assert chosen.params["tag"] == 2
+
+    def test_falls_back_to_best_fscore(self):
+        points = [point(0.5, 0.1, tag=1), point(0.4, 0.2, tag=2)]
+        chosen = choose_operating_point(points, min_recall=0.25)
+        assert chosen.params["tag"] == 2  # higher fscore
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(CalibrationError):
+            choose_operating_point([])
+
+    def test_best_at_precision(self):
+        points = [point(0.99, 0.5), point(0.99, 0.7), point(0.5, 1.0)]
+        best = best_at_precision(points, 0.98)
+        assert best.recall == 0.7
+        assert best_at_precision(points, 0.999) is None
+
+    def test_pareto_front(self):
+        points = [
+            point(1.0, 0.5, tag=1),
+            point(0.9, 0.9, tag=2),
+            point(0.8, 0.8, tag=3),   # dominated by tag=2
+            point(0.5, 1.0, tag=4),
+        ]
+        front = pareto_front(points)
+        tags = {p.params["tag"] for p in front}
+        assert tags == {1, 2, 4}
+
+    def test_fscore_property(self):
+        assert point(0.0, 0.0).fscore == 0.0
+        assert point(1.0, 1.0).fscore == 1.0

@@ -1,0 +1,80 @@
+"""Tests for trace serialization and the six-scenario dataset."""
+
+import json
+
+import pytest
+
+from repro.core.flock import FlockInference
+from repro.core.params import DEFAULT_PER_PACKET
+from repro.errors import ExperimentError
+from repro.eval.dataset import (
+    FORMAT_TAG,
+    generate_suite,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.eval.harness import build_problem
+from repro.telemetry import TelemetryConfig
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_everything(self, drop_trace):
+        rebuilt = trace_from_dict(trace_to_dict(drop_trace))
+        assert rebuilt.ground_truth.failed_links == \
+            drop_trace.ground_truth.failed_links
+        assert rebuilt.topology.links == drop_trace.topology.links
+        assert rebuilt.topology.names == drop_trace.topology.names
+        assert len(rebuilt.records) == len(drop_trace.records)
+        for a, b in zip(rebuilt.records, drop_trace.records):
+            assert (a.src, a.dst, a.packets_sent, a.bad_packets, a.path) == \
+                (b.src, b.dst, b.packets_sent, b.bad_packets, b.path)
+            assert a.is_probe == b.is_probe
+            assert a.rtt_ms == pytest.approx(b.rtt_ms, abs=1e-3)
+
+    def test_file_roundtrip(self, drop_trace, tmp_path):
+        path = save_trace(drop_trace, tmp_path / "trace.json")
+        rebuilt = load_trace(path)
+        assert rebuilt.ground_truth == drop_trace.ground_truth or (
+            rebuilt.ground_truth.failed_links
+            == drop_trace.ground_truth.failed_links
+        )
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ExperimentError):
+            trace_from_dict({"format": "something-else"})
+
+    def test_loaded_trace_drives_inference(self, drop_trace, tmp_path):
+        # A consumer of the dataset must be able to localize from the
+        # file alone.
+        path = save_trace(drop_trace, tmp_path / "trace.json")
+        rebuilt = load_trace(path)
+        problem = build_problem(rebuilt, TelemetryConfig.from_spec("INT"))
+        pred = FlockInference(DEFAULT_PER_PACKET).localize(problem)
+        assert pred.components == drop_trace.ground_truth.failed_links
+
+
+class TestSuiteGeneration:
+    def test_generates_six_scenarios(self, tmp_path):
+        paths = generate_suite(
+            tmp_path / "suite", seed=5, n_passive=300, n_probes=60
+        )
+        assert len(paths) == 6
+        names = sorted(p.stem for p in paths)
+        assert names[0].startswith("01_silent_drops_uniform")
+        assert names[-1].startswith("06_no_failure")
+        for path in paths:
+            payload = json.loads(path.read_text())
+            assert payload["format"] == FORMAT_TAG
+            assert payload["records"]
+
+    def test_scenarios_have_expected_truths(self, tmp_path):
+        paths = generate_suite(
+            tmp_path / "suite", seed=5, n_passive=200, n_probes=40
+        )
+        by_name = {p.stem: load_trace(p) for p in paths}
+        assert len(by_name["01_silent_drops_uniform"].ground_truth.failed_links) == 3
+        assert by_name["03_device_failure"].ground_truth.failed_devices
+        assert by_name["05_link_flap"].analysis == "per_flow"
+        assert not by_name["06_no_failure"].ground_truth.has_failures

@@ -1,0 +1,127 @@
+"""Tests for the Appendix A.1 precision/recall definitions."""
+
+import pytest
+
+from repro.eval.metrics import (
+    aggregate,
+    error_reduction,
+    evaluate_prediction,
+    fscore,
+)
+from repro.eval.metrics import TraceMetrics
+from repro.topology import fat_tree
+from repro.types import GroundTruth, Prediction
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return fat_tree(4)
+
+
+def predict(*comps):
+    return Prediction(components=frozenset(comps))
+
+
+class TestLinkFailures:
+    def test_exact_match(self, topo):
+        truth = GroundTruth(failed_links=frozenset({0, 1}))
+        m = evaluate_prediction(predict(0, 1), truth, topo)
+        assert m.precision == 1.0 and m.recall == 1.0
+
+    def test_false_positive(self, topo):
+        truth = GroundTruth(failed_links=frozenset({0}))
+        m = evaluate_prediction(predict(0, 5), truth, topo)
+        assert m.precision == 0.5
+        assert m.recall == 1.0
+
+    def test_false_negative(self, topo):
+        truth = GroundTruth(failed_links=frozenset({0, 1}))
+        m = evaluate_prediction(predict(0), truth, topo)
+        assert m.precision == 1.0
+        assert m.recall == 0.5
+
+    def test_empty_prediction_precision_one(self, topo):
+        truth = GroundTruth(failed_links=frozenset({0}))
+        m = evaluate_prediction(predict(), truth, topo)
+        assert m.precision == 1.0
+        assert m.recall == 0.0
+
+    def test_predicted_device_covers_failed_link(self, topo):
+        link = topo.switch_switch_links()[0]
+        u, _ = topo.endpoints(link)
+        truth = GroundTruth(failed_links=frozenset({link}))
+        m = evaluate_prediction(
+            predict(topo.device_component(u)), truth, topo
+        )
+        assert m.recall == 1.0
+        # The device itself did not fail: precision suffers.
+        assert m.precision == 0.0
+
+
+class TestNoFailures:
+    def test_empty_prediction_is_perfect(self, topo):
+        m = evaluate_prediction(predict(), GroundTruth(), topo)
+        assert m.precision == 1.0 and m.recall == 1.0
+
+    def test_any_alert_is_wrong(self, topo):
+        m = evaluate_prediction(predict(3), GroundTruth(), topo)
+        assert m.precision == 0.0 and m.recall == 1.0
+
+
+class TestDeviceFailures:
+    def test_device_predicted_directly(self, topo):
+        device = topo.device_component(topo.cores[0])
+        truth = GroundTruth(failed_devices=frozenset({device}))
+        m = evaluate_prediction(predict(device), truth, topo)
+        assert m.precision == 1.0 and m.recall == 1.0
+
+    def test_partial_link_credit(self, topo):
+        node = topo.cores[0]
+        device = topo.device_component(node)
+        links = topo.device_links(node)
+        truth = GroundTruth(failed_devices=frozenset({device}))
+        half = links[: len(links) // 2]
+        m = evaluate_prediction(predict(*half), truth, topo)
+        # "including x% of the device links in H counts as x% recall"
+        assert m.recall == pytest.approx(len(half) / len(links))
+        # Links of a faulty device are correct for precision.
+        assert m.precision == 1.0
+
+    def test_mixed_link_and_device_truth(self, topo):
+        node = topo.cores[0]
+        device = topo.device_component(node)
+        other_link = topo.switch_switch_links()[-1]
+        truth = GroundTruth(
+            failed_devices=frozenset({device}),
+            failed_links=frozenset({other_link}),
+        )
+        m = evaluate_prediction(predict(device), truth, topo)
+        assert m.recall == pytest.approx(0.5)
+
+
+class TestAggregation:
+    def test_fscore(self):
+        assert fscore(1.0, 1.0) == 1.0
+        assert fscore(0.0, 0.0) == 0.0
+        assert fscore(1.0, 0.5) == pytest.approx(2 / 3)
+
+    def test_aggregate_macro_average(self):
+        ms = [
+            TraceMetrics(precision=1.0, recall=0.5),
+            TraceMetrics(precision=0.5, recall=1.0),
+        ]
+        agg = aggregate(ms)
+        assert agg.precision == 0.75
+        assert agg.recall == 0.75
+        assert agg.n_traces == 2
+        assert agg.fscore == pytest.approx(0.75)
+
+    def test_aggregate_empty(self):
+        agg = aggregate([])
+        assert agg.precision == 1.0 and agg.n_traces == 0
+
+    def test_error_reduction(self):
+        # Baseline fscore 0.8 (error 0.2) vs Flock 0.95 (error 0.05): 4x.
+        assert error_reduction(0.8, 0.95) == pytest.approx(4.0)
+        assert error_reduction(0.8, 1.0) == float("inf")
+        assert error_reduction(1.0, 1.0) == 1.0

@@ -1,0 +1,85 @@
+"""Tests for experiment definitions, reporting, and the CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.errors import ExperimentError
+from repro.eval.experiments import (
+    ExperimentResult,
+    fig6_worked_example,
+    standard_scheme_suite,
+    standard_topology,
+)
+from repro.eval.reporting import format_table, render_result
+
+
+class TestFig6:
+    def test_flock_pinpoints_failed_link(self):
+        result = fig6_worked_example()
+        by_scheme = {row["scheme"]: row for row in result.rows}
+        assert by_scheme["Flock"]["correct_only"]
+        assert by_scheme["Flock"]["predicted"] == ["I2<->D2"]
+        # 007 votes concentrate on the shared middle link - wrong.
+        assert not by_scheme["007"]["correct_only"]
+
+
+class TestExperimentPlumbing:
+    def test_standard_topology_presets(self):
+        ci = standard_topology("ci")
+        assert ci.n_links < 200
+        with pytest.raises(ExperimentError):
+            standard_topology("huge")
+
+    def test_scheme_suite_covers_paper_grid(self):
+        labels = {s.labeled() for s in standard_scheme_suite()}
+        assert "Flock (INT)" in labels
+        assert "Flock (A1+A2+P)" in labels
+        assert "NetBouncer (INT)" in labels
+        assert "007 (A2)" in labels
+
+    def test_result_series_filter(self):
+        result = ExperimentResult(
+            experiment="x", description="",
+            rows=[{"a": 1, "b": 2}, {"a": 1, "b": 3}, {"a": 2, "b": 2}],
+        )
+        assert len(result.series(a=1)) == 2
+        assert result.series(a=2, b=2) == [{"a": 2, "b": 2}]
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table([{"x": 1.23456, "ok": True}, {"x": 2, "ok": False}])
+        assert "x" in text and "ok" in text
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_render_result_includes_notes(self):
+        result = ExperimentResult(
+            experiment="demo", description="d", rows=[{"v": 1}],
+            notes="paper says so",
+        )
+        text = render_result(result)
+        assert "demo" in text and "paper says so" in text
+
+
+class TestCli:
+    def test_registry_covers_figures(self):
+        for name in ("fig2", "fig3", "fig4a", "fig4c", "fig5", "table1"):
+            assert name in EXPERIMENTS
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "fig6" in out
+
+    def test_run_fig6(self, capsys):
+        assert main(["run", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "Flock" in out
+
+    def test_parser_rejects_unknown(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "fig99"])

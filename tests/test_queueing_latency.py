@@ -1,0 +1,108 @@
+"""Tests for the WRED queue model and the RTT/latency model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    LatencyModel,
+    WredConfig,
+    WredQueue,
+    effective_drop_rate,
+    rtt_is_bad,
+)
+from repro.topology import leaf_spine
+
+
+class TestWredAnalytic:
+    def test_paper_misconfiguration(self):
+        # p=1%, w=0: effective rate = p * utilization.
+        config = WredConfig(drop_probability=0.01, queue_threshold=0)
+        assert effective_drop_rate(config, 0.5) == pytest.approx(0.005)
+
+    def test_threshold_reduces_rate(self):
+        shallow = WredConfig(drop_probability=0.01, queue_threshold=0)
+        deep = WredConfig(drop_probability=0.01, queue_threshold=3)
+        assert effective_drop_rate(deep, 0.5) < effective_drop_rate(shallow, 0.5)
+
+    def test_zero_utilization(self):
+        config = WredConfig()
+        assert effective_drop_rate(config, 0.0) == 0.0
+
+    def test_invalid_utilization(self):
+        with pytest.raises(SimulationError):
+            effective_drop_rate(WredConfig(), 1.0)
+
+    def test_invalid_config(self):
+        with pytest.raises(SimulationError):
+            WredConfig(drop_probability=1.5)
+        with pytest.raises(SimulationError):
+            WredConfig(queue_threshold=-1)
+
+
+class TestWredQueueSimulation:
+    def test_empirical_matches_analytic(self):
+        # The discrete-time queue's measured drop rate should be close
+        # to the analytic p * rho^(w+1) substitute used by the flow
+        # simulator (the queue is Geo/Geo/1, so "close" not "exact":
+        # same order of magnitude, same load trend).
+        config = WredConfig(drop_probability=0.2, queue_threshold=0)
+        rng = np.random.default_rng(3)
+        measured = {}
+        for rho in (0.3, 0.7):
+            queue = WredQueue(
+                config, arrival_rate=rho * 0.05, service_prob=0.05
+            )
+            assert queue.utilization == pytest.approx(rho)
+            measured[rho] = queue.run(1_000_000, rng)
+        assert measured[0.7] > measured[0.3]
+        for rho, rate in measured.items():
+            analytic = effective_drop_rate(config, rho)
+            assert rate == pytest.approx(analytic, rel=0.4)
+
+    def test_no_arrivals_no_drops(self):
+        queue = WredQueue(WredConfig(), arrival_rate=0.0)
+        assert queue.run(1000, np.random.default_rng(0)) == 0.0
+
+    def test_invalid_arrival_rate(self):
+        with pytest.raises(SimulationError):
+            WredQueue(WredConfig(), arrival_rate=1.0)
+        with pytest.raises(SimulationError):
+            WredQueue(WredConfig(), arrival_rate=0.1, service_prob=0.0)
+
+
+class TestLatencyModel:
+    def test_flap_flows_spike(self):
+        topo = leaf_spine(2, 2, 2)
+        model = LatencyModel(flap_spike_prob=1.0, congestion_spike_prob=0.0)
+        rng = np.random.default_rng(0)
+        flapped = frozenset({topo.switch_switch_links()[0]})
+        u, v = topo.endpoints(next(iter(flapped)))
+        paths = [(u, v)] * 50 + [
+            (topo.hosts[0], topo.rack_of(topo.hosts[0]))
+        ] * 50
+        rtts = model.sample_rtts(topo, paths, flapped, rng)
+        assert all(rtt_is_bad(r) for r in rtts[:50])
+        assert not any(rtt_is_bad(r) for r in rtts[50:])
+
+    def test_congestion_spikes_rare(self):
+        topo = leaf_spine(2, 2, 2)
+        model = LatencyModel(congestion_spike_prob=0.01)
+        rng = np.random.default_rng(1)
+        host = topo.hosts[0]
+        paths = [(host, topo.rack_of(host))] * 5000
+        rtts = model.sample_rtts(topo, paths, frozenset(), rng)
+        bad = sum(1 for r in rtts if rtt_is_bad(r))
+        assert 0 < bad < 200
+
+    def test_threshold_boundary(self):
+        assert not rtt_is_bad(10.0)
+        assert rtt_is_bad(10.0001)
+
+    def test_invalid_params(self):
+        with pytest.raises(SimulationError):
+            LatencyModel(base_rtt_ms=0.0)
+        with pytest.raises(SimulationError):
+            LatencyModel(flap_spike_prob=1.5)
+        with pytest.raises(SimulationError):
+            LatencyModel(spike_low_ms=100.0, spike_high_ms=50.0)

@@ -1,0 +1,141 @@
+"""Tests for ECMP path enumeration and path interning."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import EcmpRouting, PathSetTable, PathTable, wcmp_weights
+from repro.topology import fat_tree, leaf_spine
+
+
+class TestEcmpFatTree:
+    @pytest.fixture(scope="class")
+    def routing(self):
+        return EcmpRouting(fat_tree(4))
+
+    def test_same_rack_path(self, routing):
+        topo = routing.topology
+        tor = topo.racks[0]
+        h0, h1 = topo.hosts_in_rack(tor)[:2]
+        paths = routing.host_paths(h0, h1)
+        assert paths == ((h0, tor, h1),)
+
+    def test_same_pod_paths(self, routing):
+        topo = routing.topology
+        # Two tors in the same pod share k/2 = 2 agg choices.
+        tor_a, tor_b = topo.racks[0], topo.racks[1]
+        assert topo.name(tor_a)[:2] == topo.name(tor_b)[:2]
+        h_a = topo.hosts_in_rack(tor_a)[0]
+        h_b = topo.hosts_in_rack(tor_b)[0]
+        paths = routing.host_paths(h_a, h_b)
+        assert len(paths) == 2
+        for path in paths:
+            assert len(path) == 5  # h, tor, agg, tor, h
+            assert topo.role(path[2]) == "agg"
+
+    def test_cross_pod_paths(self, routing):
+        topo = routing.topology
+        pods = {}
+        for tor in topo.racks:
+            pods.setdefault(topo.name(tor)[:2], []).append(tor)
+        pod_list = sorted(pods)
+        tor_a = pods[pod_list[0]][0]
+        tor_b = pods[pod_list[1]][0]
+        h_a = topo.hosts_in_rack(tor_a)[0]
+        h_b = topo.hosts_in_rack(tor_b)[0]
+        paths = routing.host_paths(h_a, h_b)
+        # k=4 fat tree: (k/2)^2 = 4 core paths between pods.
+        assert len(paths) == 4
+        for path in paths:
+            assert len(path) == 7
+            assert topo.role(path[3]) == "core"
+
+    def test_paths_are_simple_and_valid(self, routing):
+        topo = routing.topology
+        paths = routing.host_paths(topo.hosts[0], topo.hosts[-1])
+        for path in paths:
+            assert len(set(path)) == len(path)
+            for u, v in zip(path, path[1:]):
+                assert topo.has_link(u, v)
+
+    def test_symmetry(self, routing):
+        topo = routing.topology
+        fwd = routing.host_paths(topo.hosts[0], topo.hosts[-1])
+        rev = routing.host_paths(topo.hosts[-1], topo.hosts[0])
+        assert sorted(tuple(reversed(p)) for p in fwd) == sorted(rev)
+
+    def test_probe_paths_reach_core(self, routing):
+        topo = routing.topology
+        host = topo.hosts[0]
+        core = topo.cores[0]
+        paths = routing.probe_paths(host, core)
+        assert paths
+        for path in paths:
+            assert path[0] == host
+            assert path[-1] == core
+
+    def test_same_host_rejected(self, routing):
+        topo = routing.topology
+        with pytest.raises(RoutingError):
+            routing.host_paths(topo.hosts[0], topo.hosts[0])
+
+    def test_cache_grows(self, routing):
+        before = routing.cached_pairs
+        topo = routing.topology
+        routing.host_paths(topo.hosts[0], topo.hosts[5])
+        assert routing.cached_pairs >= before
+
+
+class TestEcmpLeafSpine:
+    def test_cross_rack_uses_all_spines(self):
+        topo = leaf_spine(2, 3, 2)
+        routing = EcmpRouting(topo)
+        h_a = topo.hosts_in_rack(topo.racks[0])[0]
+        h_b = topo.hosts_in_rack(topo.racks[1])[0]
+        paths = routing.host_paths(h_a, h_b)
+        assert len(paths) == 2
+        spines = {path[2] for path in paths}
+        assert spines == set(topo.cores)
+
+
+class TestWcmp:
+    def test_uniform_weights(self):
+        weights = wcmp_weights(((0, 1), (0, 2)))
+        assert weights == (0.5, 0.5)
+
+    def test_capacity_weights(self):
+        caps = {(0, 1): 40.0, (0, 2): 10.0}
+        weights = wcmp_weights(((0, 1), (0, 2)), caps)
+        assert weights == (0.8, 0.2)
+
+    def test_missing_capacity(self):
+        with pytest.raises(RoutingError):
+            wcmp_weights(((0, 1),), {})
+
+    def test_empty_paths(self):
+        with pytest.raises(RoutingError):
+            wcmp_weights(())
+
+
+class TestInterning:
+    def test_path_table_dedupes_and_sorts(self):
+        table = PathTable()
+        a = table.intern((3, 1, 2))
+        b = table.intern((1, 2, 3))
+        assert a == b
+        assert table.components(a) == (1, 2, 3)
+        assert len(table) == 1
+
+    def test_path_table_distinct(self):
+        table = PathTable()
+        a = table.intern((1, 2))
+        b = table.intern((1, 3))
+        assert a != b
+        assert len(table) == 2
+
+    def test_pathset_table(self):
+        table = PathSetTable()
+        a = table.intern((2, 1))
+        b = table.intern((1, 2))
+        assert a == b
+        assert table.paths(a) == (1, 2)
+        assert len(table) == 1

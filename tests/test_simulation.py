@@ -1,0 +1,209 @@
+"""Tests for drop-rate plans, failure scenarios, and the flow simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.routing import EcmpRouting
+from repro.simulation import (
+    DropRatePlan,
+    FlowLevelSimulator,
+    LinkFlap,
+    NoFailure,
+    QueueMisconfig,
+    SilentDeviceFailure,
+    SilentLinkDrops,
+    empirical_link_loss,
+    fail_links,
+    good_link_rates,
+)
+from repro.simulation.failures import PER_FLOW, PER_PACKET
+from repro.topology import fat_tree
+from repro.traffic import FlowSpec, UniformTraffic, generate_passive_flows
+
+
+class TestDropRatePlan:
+    def test_validation(self, small_fat_tree):
+        with pytest.raises(SimulationError):
+            DropRatePlan(small_fat_tree, np.zeros(3))
+        with pytest.raises(SimulationError):
+            DropRatePlan(
+                small_fat_tree, np.full(small_fat_tree.n_links, 1.5)
+            )
+
+    def test_good_rates_bounded(self, small_fat_tree, rng):
+        plan = good_link_rates(small_fat_tree, rng, max_rate=1e-4)
+        assert plan.rates.max() <= 1e-4
+        assert plan.rates.min() >= 0.0
+
+    def test_fail_links_overrides(self, small_fat_tree, rng):
+        plan = good_link_rates(small_fat_tree, rng)
+        failed = [0, 5]
+        plan2 = fail_links(plan, failed, rng, 1e-3, 1e-2)
+        for link in failed:
+            assert 1e-3 <= plan2.rate(link) <= 1e-2
+        # Other links untouched.
+        assert plan2.rate(1) == plan.rate(1)
+
+    def test_path_drop_probability(self, small_fat_tree):
+        rates = np.zeros(small_fat_tree.n_links)
+        u, v = small_fat_tree.endpoints(0)
+        rates[0] = 0.5
+        plan = DropRatePlan(small_fat_tree, rates)
+        assert plan.path_drop_probability((u, v)) == pytest.approx(0.5)
+        # Bounce path crosses the link twice: 1 - 0.25.
+        assert plan.path_drop_probability((u, v, u)) == pytest.approx(0.75)
+
+    def test_rates_read_only(self, small_fat_tree, rng):
+        plan = good_link_rates(small_fat_tree, rng)
+        with pytest.raises(ValueError):
+            plan.rates[0] = 0.9
+
+
+class TestScenarios:
+    def test_silent_link_drops(self, small_fat_tree, rng):
+        injection = SilentLinkDrops(n_failures=3).inject(small_fat_tree, rng)
+        truth = injection.ground_truth
+        assert len(truth.failed_links) == 3
+        fabric = set(small_fat_tree.switch_switch_links())
+        for link in truth.failed_links:
+            assert link in fabric
+            assert 1e-3 <= injection.plan.rate(link) <= 1e-2
+        assert injection.analysis == PER_PACKET
+
+    def test_device_failure(self, small_fat_tree, rng):
+        injection = SilentDeviceFailure(n_devices=2).inject(small_fat_tree, rng)
+        truth = injection.ground_truth
+        assert len(truth.failed_devices) == 2
+        assert not truth.failed_links
+        # The affected links got elevated rates.
+        assert truth.drop_rates
+        for link, rate in truth.drop_rates.items():
+            assert rate >= 1e-3
+
+    def test_device_failure_fraction_bounds(self, small_fat_tree):
+        scenario = SilentDeviceFailure(
+            n_devices=1, min_link_fraction=1.0, max_link_fraction=1.0
+        )
+        injection = scenario.inject(small_fat_tree, np.random.default_rng(0))
+        device = next(iter(injection.ground_truth.failed_devices))
+        node = small_fat_tree.component_device(device)
+        assert set(injection.ground_truth.drop_rates) == set(
+            small_fat_tree.device_links(node)
+        )
+
+    def test_queue_misconfig_effective_rate(self, small_fat_tree, rng):
+        scenario = QueueMisconfig(n_links=1, utilization=0.6)
+        injection = scenario.inject(small_fat_tree, rng)
+        link = next(iter(injection.ground_truth.failed_links))
+        assert injection.plan.rate(link) == pytest.approx(0.01 * 0.6)
+
+    def test_link_flap(self, small_fat_tree, rng):
+        injection = LinkFlap(n_links=1).inject(small_fat_tree, rng)
+        assert injection.analysis == PER_FLOW
+        assert injection.flapped_links == injection.ground_truth.failed_links
+        assert injection.latency_model is not None
+        # No drop-rate elevation on flapped links.
+        for link in injection.flapped_links:
+            assert injection.plan.rate(link) <= 1e-4
+
+    def test_no_failure(self, small_fat_tree, rng):
+        injection = NoFailure().inject(small_fat_tree, rng)
+        assert not injection.ground_truth.has_failures
+
+    def test_too_many_failures(self, small_fat_tree, rng):
+        n_fabric = len(small_fat_tree.switch_switch_links())
+        with pytest.raises(SimulationError):
+            SilentLinkDrops(n_failures=n_fabric + 1).inject(small_fat_tree, rng)
+
+
+class TestFlowSimulator:
+    def test_zero_rates_no_drops(self, small_fat_tree, ft_routing, rng):
+        injection = NoFailure().inject(small_fat_tree, rng)
+        zero_plan = DropRatePlan(
+            small_fat_tree, np.zeros(small_fat_tree.n_links)
+        )
+        injection = type(injection)(
+            ground_truth=injection.ground_truth, plan=zero_plan
+        )
+        matrix = UniformTraffic(small_fat_tree)
+        specs = generate_passive_flows(ft_routing, matrix, 300, rng)
+        records = FlowLevelSimulator(small_fat_tree).simulate(
+            specs, injection, rng
+        )
+        assert all(r.bad_packets == 0 for r in records)
+
+    def test_total_loss_link(self, small_fat_tree, ft_routing, rng):
+        # A link with rate 1.0 makes every flow crossing it all-bad.
+        topo = small_fat_tree
+        rates = np.zeros(topo.n_links)
+        victim = topo.switch_switch_links()[0]
+        rates[victim] = 1.0
+        plan = DropRatePlan(topo, rates)
+        injection = NoFailure().inject(topo, rng)
+        injection = type(injection)(
+            ground_truth=injection.ground_truth, plan=plan
+        )
+        matrix = UniformTraffic(topo)
+        specs = generate_passive_flows(ft_routing, matrix, 500, rng)
+        records = FlowLevelSimulator(topo).simulate(specs, injection, rng)
+        for record in records:
+            links = {
+                topo.link_id(u, v)
+                for u, v in zip(record.path, record.path[1:])
+            }
+            if victim in links:
+                assert record.bad_packets == record.packets_sent
+            else:
+                assert record.bad_packets == 0
+
+    def test_chosen_path_comes_from_spec(self, small_fat_tree, ft_routing, rng):
+        matrix = UniformTraffic(small_fat_tree)
+        specs = generate_passive_flows(ft_routing, matrix, 100, rng)
+        injection = NoFailure().inject(small_fat_tree, rng)
+        records = FlowLevelSimulator(small_fat_tree).simulate(
+            specs, injection, rng
+        )
+        for spec, record in zip(specs, records):
+            assert record.path in spec.paths
+            assert record.src == spec.src
+
+    def test_empirical_rate_tracks_plan(self, small_fat_tree, ft_routing):
+        # With heavy probing of a single lossy path, the observed loss
+        # rate converges to the planned drop probability.
+        topo = small_fat_tree
+        rng = np.random.default_rng(7)
+        rates = np.zeros(topo.n_links)
+        victim = topo.switch_switch_links()[0]
+        rates[victim] = 0.02
+        plan = DropRatePlan(topo, rates)
+        injection = NoFailure().inject(topo, rng)
+        injection = type(injection)(
+            ground_truth=injection.ground_truth, plan=plan
+        )
+        u, v = topo.endpoints(victim)
+        # Build a deterministic flow crossing the victim link.
+        host = next(
+            h for h in topo.hosts
+            if any(n in (u, v) for n, _ in topo.neighbors(h))
+        )
+        rack = topo.rack_of(host)
+        path = (host, u, v) if rack == u else (host, v, u)
+        specs = [
+            FlowSpec(src=host, dst=path[-1], packets=1000, paths=(path,))
+            for _ in range(200)
+        ]
+        records = FlowLevelSimulator(topo).simulate(specs, injection, rng)
+        total_bad = sum(r.bad_packets for r in records)
+        total = sum(r.packets_sent for r in records)
+        assert total_bad / total == pytest.approx(0.02, rel=0.2)
+
+    def test_empirical_link_loss_index(self, drop_trace):
+        loss = empirical_link_loss(drop_trace.topology, drop_trace.records)
+        for link, (bad, total) in loss.items():
+            assert 0 <= bad
+            assert total > 0
+
+    def test_empty_specs(self, small_fat_tree, rng):
+        injection = NoFailure().inject(small_fat_tree, rng)
+        assert FlowLevelSimulator(small_fat_tree).simulate([], injection, rng) == []

@@ -1,0 +1,132 @@
+"""Agent -> transport -> collector pipeline tests (incl. UDP loopback)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    Collector,
+    InMemoryTransport,
+    TelemetryAgent,
+    UdpCollectorServer,
+    UdpTransport,
+    encode_message,
+)
+from repro.telemetry.records import FlowReport
+from repro.types import FlowRecord
+
+
+def make_records(n, bad_every=5):
+    records = []
+    for i in range(n):
+        records.append(
+            FlowRecord(
+                src=i, dst=i + 1000, packets_sent=100,
+                bad_packets=1 if i % bad_every == 0 else 0,
+                path=(i, 50_000, i + 1000), rtt_ms=0.3,
+                is_probe=(i % 7 == 0),
+            )
+        )
+    return records
+
+
+class TestAgent:
+    def test_exports_everything_in_batches(self):
+        transport = InMemoryTransport()
+        agent = TelemetryAgent(transport, batch_size=10)
+        agent.observe(make_records(25))
+        agent.flush()
+        assert agent.exported_reports == 25
+        assert agent.exported_messages == 3
+        collector = Collector()
+        for message in transport.drain():
+            collector.ingest(message)
+        assert collector.pending_reports == 25
+
+    def test_sampling_drops_passive_keeps_probes(self):
+        transport = InMemoryTransport()
+        agent = TelemetryAgent(transport, sampling_rate=0.2, seed=3)
+        records = make_records(700)
+        n_probes = sum(1 for r in records if r.is_probe)
+        agent.observe(records)
+        agent.flush()
+        collector = Collector()
+        for message in transport.drain():
+            collector.ingest(message)
+        reports = collector.drain()
+        probes = [r for r in reports if r.is_probe]
+        assert len(probes) == n_probes
+        passive = len(reports) - len(probes)
+        assert passive < (700 - n_probes) * 0.4
+        assert agent.sampled_out == 700 - len(reports)
+
+    def test_reveal_paths_flag(self):
+        transport = InMemoryTransport()
+        agent = TelemetryAgent(transport, reveal_paths=False)
+        agent.observe(make_records(10))
+        agent.flush()
+        collector = Collector()
+        for message in transport.drain():
+            collector.ingest(message)
+        for report in collector.drain():
+            if report.is_probe:
+                assert report.path is not None  # probes always traced
+            else:
+                assert report.path is None
+
+    def test_invalid_config(self):
+        with pytest.raises(TelemetryError):
+            TelemetryAgent(InMemoryTransport(), sampling_rate=0.0)
+        with pytest.raises(TelemetryError):
+            TelemetryAgent(InMemoryTransport(), batch_size=0)
+
+
+class TestCollector:
+    def test_rejects_garbage_and_survives(self):
+        collector = Collector()
+        assert collector.ingest(b"not a message") == 0
+        assert collector.messages_rejected == 1
+        good = encode_message(
+            [FlowReport(src=1, dst=2, packets_sent=3, retransmissions=0,
+                        rtt_us=5)]
+        )
+        assert collector.ingest(good) == 1
+        assert collector.messages_ingested == 1
+
+    def test_drain_clears(self):
+        collector = Collector()
+        good = encode_message(
+            [FlowReport(src=1, dst=2, packets_sent=3, retransmissions=0,
+                        rtt_us=5)]
+        )
+        collector.ingest(good)
+        assert len(collector.drain()) == 1
+        assert collector.pending_reports == 0
+
+
+class TestUdpLoopback:
+    def test_end_to_end_over_udp(self):
+        collector = Collector()
+        with UdpCollectorServer(collector) as server:
+            host, port = server.address
+            transport = UdpTransport(host, port)
+            agent = TelemetryAgent(transport, reveal_paths=True)
+            agent.observe(make_records(120))
+            agent.flush()
+            transport.close()
+            deadline = time.time() + 5.0
+            while collector.pending_reports < 120 and time.time() < deadline:
+                time.sleep(0.01)
+        assert collector.pending_reports == 120
+        reports = collector.drain()
+        assert all(r.path is not None for r in reports)
+
+    def test_server_restart_guard(self):
+        collector = Collector()
+        server = UdpCollectorServer(collector)
+        server.start()
+        with pytest.raises(TelemetryError):
+            server.start()
+        server.stop()

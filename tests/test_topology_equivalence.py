@@ -1,0 +1,69 @@
+"""Tests for ECMP link equivalence classes (Fig. 5c machinery)."""
+
+import numpy as np
+
+from repro.routing.ecmp import EcmpRouting
+from repro.topology import (
+    leaf_spine,
+    link_equivalence_classes,
+    omit_random_links,
+    theoretical_max_precision,
+)
+from repro.topology.equivalence import class_of, mean_class_size
+
+
+class TestEquivalenceClasses:
+    def test_leaf_spine_uplinks_grouped_per_leaf(self):
+        # In a symmetric 2-spine leaf-spine fabric, the two uplinks of a
+        # leaf participate identically in every ECMP path set.
+        topo = leaf_spine(2, 4, 2)
+        routing = EcmpRouting(topo)
+        classes = link_equivalence_classes(topo, routing)
+        by_link = {link: group for group in classes for link in group}
+        for leaf in topo.racks:
+            uplinks = sorted(
+                lid for n, lid in topo.neighbors(leaf)
+                if topo.role(n) == "spine"
+            )
+            assert by_link[uplinks[0]] == by_link[uplinks[1]]
+            assert set(uplinks) <= set(by_link[uplinks[0]])
+
+    def test_classes_partition_fabric_links(self):
+        topo = leaf_spine(2, 4, 2)
+        classes = link_equivalence_classes(topo, EcmpRouting(topo))
+        seen = [link for group in classes for link in group]
+        assert sorted(seen) == sorted(topo.switch_switch_links())
+        assert len(seen) == len(set(seen))
+
+    def test_irregularity_shrinks_classes(self):
+        topo = leaf_spine(4, 6, 2)
+        base_classes = link_equivalence_classes(topo, EcmpRouting(topo))
+        degraded, _ = omit_random_links(
+            topo, 0.2, np.random.default_rng(3)
+        )
+        degraded_classes = link_equivalence_classes(
+            degraded, EcmpRouting(degraded)
+        )
+        assert mean_class_size(degraded_classes) <= mean_class_size(base_classes)
+
+
+class TestTheoreticalMaxPrecision:
+    def test_no_failures(self):
+        assert theoretical_max_precision([(0, 1)], []) == 1.0
+
+    def test_singleton_class(self):
+        classes = [(0,), (1, 2)]
+        assert theoretical_max_precision(classes, [0]) == 1.0
+
+    def test_pair_class(self):
+        classes = [(1, 2)]
+        assert theoretical_max_precision(classes, [1]) == 0.5
+
+    def test_multiple_failures_union(self):
+        classes = [(0, 1), (2, 3, 4)]
+        # Failing 0 and 2 forces blaming {0,1} and {2,3,4}: 2/5.
+        assert theoretical_max_precision(classes, [0, 2]) == 2 / 5
+
+    def test_class_of_fallback(self):
+        assert class_of([(0, 1)], 7) == (7,)
+        assert class_of([(0, 1)], 1) == (0, 1)

@@ -1,0 +1,96 @@
+"""Tests for the Clos / fat-tree / leaf-spine generators."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import fat_tree, leaf_spine, paper_simulation_clos, three_tier_clos
+from repro.topology import testbed as build_testbed
+
+
+class TestFatTree:
+    def test_k4_structure(self):
+        topo = fat_tree(4)
+        # k=4: 4 cores, 8 aggs, 8 tors, 16 hosts.
+        assert len(topo.cores) == 4
+        assert len(topo.aggs) == 8
+        assert len(topo.racks) == 8
+        assert len(topo.hosts) == 16
+        # links: 16 host + 16 tor-agg + 16 agg-core
+        assert topo.n_links == 48
+        assert topo.is_connected()
+
+    def test_k8_host_count(self):
+        topo = fat_tree(8)
+        # Classic fat-tree: k^3/4 hosts.
+        assert len(topo.hosts) == 8 ** 3 // 4
+
+    def test_all_tors_have_uplinks_to_every_pod_agg(self):
+        topo = fat_tree(4)
+        for tor in topo.racks:
+            agg_neighbors = [
+                n for n, _ in topo.neighbors(tor) if topo.role(n) == "agg"
+            ]
+            assert len(agg_neighbors) == 2
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(TopologyError):
+            fat_tree(5)
+
+    def test_custom_hosts_per_edge(self):
+        topo = fat_tree(4, hosts_per_edge=6)
+        assert len(topo.hosts) == 8 * 6
+
+
+class TestThreeTierClos:
+    def test_structure(self):
+        topo = three_tier_clos(
+            pods=2, tors_per_pod=3, aggs_per_pod=2,
+            core_groups=2, cores_per_group=2, hosts_per_tor=4,
+        )
+        assert len(topo.racks) == 6
+        assert len(topo.aggs) == 4
+        assert len(topo.cores) == 4
+        assert len(topo.hosts) == 24
+        # per pod: 3*2 tor-agg + 2*2 agg-core + 3*4 host = 22
+        assert topo.n_links == 44
+        assert topo.is_connected()
+
+    def test_default_oversubscription(self):
+        # hosts_per_tor defaults to 3 * aggs_per_pod (3x oversubscription).
+        topo = three_tier_clos(pods=1, tors_per_pod=1, aggs_per_pod=2)
+        assert len(topo.hosts) == 6
+
+    def test_invalid_args(self):
+        with pytest.raises(TopologyError):
+            three_tier_clos(pods=0, tors_per_pod=1, aggs_per_pod=1)
+        with pytest.raises(TopologyError):
+            three_tier_clos(pods=1, tors_per_pod=1, aggs_per_pod=1,
+                            cores_per_group=0)
+
+    def test_paper_scale(self):
+        topo = paper_simulation_clos()
+        # The paper simulates a ~2500-link Clos.
+        assert 2300 <= topo.n_links <= 2700
+        assert topo.is_connected()
+
+
+class TestLeafSpine:
+    def test_testbed_matches_paper(self):
+        topo = build_testbed()
+        # "2 spines, 8 leaf racks and 6 hosts per rack"
+        assert len(topo.cores) == 2
+        assert len(topo.racks) == 8
+        assert len(topo.hosts) == 48
+        assert topo.n_links == 8 * 2 + 48
+
+    def test_full_mesh(self):
+        topo = leaf_spine(3, 4, 2)
+        for leaf in topo.racks:
+            spine_neighbors = [
+                n for n, _ in topo.neighbors(leaf) if topo.role(n) == "spine"
+            ]
+            assert len(spine_neighbors) == 3
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            leaf_spine(0, 1, 1)

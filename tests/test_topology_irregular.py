@@ -1,0 +1,60 @@
+"""Tests for irregular-Clos degradation (link omission)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import fat_tree, omit_random_links
+
+
+class TestOmitRandomLinks:
+    def test_zero_fraction_is_identity(self, rng):
+        topo = fat_tree(4)
+        degraded, removed = omit_random_links(topo, 0.0, rng)
+        assert degraded is topo
+        assert removed == ()
+
+    def test_removes_requested_fraction(self, rng):
+        topo = fat_tree(4)
+        fabric_before = len(topo.switch_switch_links())
+        degraded, removed = omit_random_links(topo, 0.2, rng)
+        expected = int(round(0.2 * fabric_before))
+        assert len(removed) == expected
+        assert degraded.n_links == topo.n_links - expected
+
+    def test_never_removes_host_links(self, rng):
+        topo = fat_tree(4)
+        _, removed = omit_random_links(topo, 0.25, rng)
+        for u, v in removed:
+            assert topo.role(u) != "host"
+            assert topo.role(v) != "host"
+
+    def test_stays_connected(self):
+        topo = fat_tree(4)
+        for seed in range(5):
+            degraded, _ = omit_random_links(
+                topo, 0.2, np.random.default_rng(seed)
+            )
+            assert degraded.is_connected()
+
+    def test_racks_keep_uplinks(self, rng):
+        topo = fat_tree(4)
+        degraded, _ = omit_random_links(topo, 0.25, rng)
+        for rack in degraded.racks:
+            uplinks = [
+                n for n, _ in degraded.neighbors(rack)
+                if degraded.role(n) != "host"
+            ]
+            assert uplinks
+
+    def test_invalid_fraction(self, rng):
+        topo = fat_tree(4)
+        with pytest.raises(TopologyError):
+            omit_random_links(topo, 1.0, rng)
+        with pytest.raises(TopologyError):
+            omit_random_links(topo, -0.1, rng)
+
+    def test_host_count_preserved(self, rng):
+        topo = fat_tree(4)
+        degraded, _ = omit_random_links(topo, 0.15, rng)
+        assert degraded.hosts == topo.hosts

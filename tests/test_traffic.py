@@ -1,0 +1,156 @@
+"""Tests for traffic matrices, flow sizes, and probe plans."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.routing import EcmpRouting
+from repro.topology import fat_tree
+from repro.traffic import (
+    FlowSpec,
+    SkewedTraffic,
+    UniformTraffic,
+    a1_probe_plan,
+    generate_passive_flows,
+    pareto_flow_packets,
+    probes_per_link_coverage,
+)
+
+
+class TestUniformTraffic:
+    def test_no_self_flows(self, small_fat_tree, rng):
+        matrix = UniformTraffic(small_fat_tree)
+        pairs = matrix.sample_pairs(500, rng)
+        assert len(pairs) == 500
+        for src, dst in pairs:
+            assert src != dst
+            assert src in small_fat_tree.hosts
+            assert dst in small_fat_tree.hosts
+
+    def test_spread_over_hosts(self, small_fat_tree, rng):
+        matrix = UniformTraffic(small_fat_tree)
+        pairs = matrix.sample_pairs(3000, rng)
+        sources = {src for src, _ in pairs}
+        assert len(sources) == len(small_fat_tree.hosts)
+
+
+class TestSkewedTraffic:
+    def test_concentrates_on_hot_racks(self, small_fat_tree, rng):
+        matrix = SkewedTraffic(
+            small_fat_tree, rng,
+            hot_rack_fraction=0.25, hot_traffic_fraction=0.5,
+        )
+        hot_hosts = set()
+        for rack in matrix.hot_racks:
+            hot_hosts.update(small_fat_tree.hosts_in_rack(rack))
+        pairs = matrix.sample_pairs(4000, rng)
+        hot_flows = sum(
+            1 for s, d in pairs if s in hot_hosts and d in hot_hosts
+        )
+        # ~50% fully-hot flows plus uniform flows that land there anyway.
+        assert hot_flows / len(pairs) > 0.4
+
+    def test_no_self_flows(self, small_fat_tree, rng):
+        matrix = SkewedTraffic(small_fat_tree, rng)
+        for src, dst in matrix.sample_pairs(1000, rng):
+            assert src != dst
+
+    def test_invalid_fractions(self, small_fat_tree, rng):
+        with pytest.raises(TrafficError):
+            SkewedTraffic(small_fat_tree, rng, hot_rack_fraction=0.0)
+        with pytest.raises(TrafficError):
+            SkewedTraffic(small_fat_tree, rng, hot_traffic_fraction=1.5)
+
+
+class TestParetoSizes:
+    def test_mean_in_ballpark(self, rng):
+        packets = pareto_flow_packets(rng, 60_000, mean_bytes=200_000.0)
+        mean_bytes = packets.mean() * 1500
+        # Heavy tail + clipping: allow a wide band around 200 KB.
+        assert 60_000 < mean_bytes < 500_000
+
+    def test_minimum_one_packet(self, rng):
+        packets = pareto_flow_packets(rng, 1000, mean_bytes=500.0)
+        assert packets.min() >= 1
+
+    def test_clipping(self, rng):
+        packets = pareto_flow_packets(rng, 5000, max_packets=50)
+        assert packets.max() <= 50
+
+    def test_invalid_shape(self, rng):
+        with pytest.raises(TrafficError):
+            pareto_flow_packets(rng, 10, shape=1.0)
+
+
+class TestFlowSpecs:
+    def test_spec_validation(self):
+        with pytest.raises(TrafficError):
+            FlowSpec(src=0, dst=1, packets=0, paths=((0, 1),))
+        with pytest.raises(TrafficError):
+            FlowSpec(src=0, dst=1, packets=5, paths=())
+
+    def test_generate_passive_flows(self, small_fat_tree, ft_routing, rng):
+        matrix = UniformTraffic(small_fat_tree)
+        specs = generate_passive_flows(ft_routing, matrix, 200, rng)
+        assert len(specs) == 200
+        for spec in specs:
+            assert spec.paths
+            assert not spec.is_probe
+            assert spec.paths == ft_routing.host_paths(spec.src, spec.dst)
+
+    def test_fixed_packets(self, small_fat_tree, ft_routing, rng):
+        matrix = UniformTraffic(small_fat_tree)
+        specs = generate_passive_flows(
+            ft_routing, matrix, 50, rng, fixed_packets=7
+        )
+        assert all(spec.packets == 7 for spec in specs)
+
+
+class TestProbePlan:
+    def test_probes_are_pinned_and_marked(self, small_fat_tree, ft_routing, rng):
+        specs = a1_probe_plan(small_fat_tree, ft_routing, 100, rng)
+        assert len(specs) == 100
+        for spec in specs:
+            assert spec.is_probe
+            assert len(spec.paths) == 1
+            assert spec.dst in small_fat_tree.cores
+
+    def test_full_plan_covers_fabric(self, small_fat_tree, ft_routing, rng):
+        n_pairs = len(small_fat_tree.hosts) * len(small_fat_tree.cores)
+        specs = a1_probe_plan(
+            small_fat_tree, ft_routing, n_pairs * 4, rng
+        )
+        coverage = probes_per_link_coverage(small_fat_tree, specs)
+        assert coverage == 1.0
+
+    def test_rotation_through_ecmp_choices(self, rng):
+        # A fat-tree has a single path from a host to a given core, so
+        # use a Clos where two aggs reach the same core group: the plan
+        # must rotate between the two distinct up-paths.
+        from repro.topology import three_tier_clos
+
+        topo = three_tier_clos(
+            pods=2, tors_per_pod=2, aggs_per_pod=4,
+            core_groups=2, cores_per_group=1, hosts_per_tor=2,
+        )
+        routing = EcmpRouting(topo)
+        host = topo.hosts[0]
+        core = topo.cores[0]
+        assert len(routing.probe_paths(host, core)) >= 2
+        specs = a1_probe_plan(
+            topo, routing,
+            len(topo.hosts) * len(topo.cores) * 2,
+            rng, hosts=None,
+        )
+        pinned = {
+            spec.paths[0]
+            for spec in specs
+            if spec.src == host and spec.dst == core
+        }
+        assert len(pinned) >= 2  # rotated through distinct up-paths
+
+    def test_invalid_args(self, small_fat_tree, ft_routing, rng):
+        with pytest.raises(TrafficError):
+            a1_probe_plan(small_fat_tree, ft_routing, -1, rng)
+        with pytest.raises(TrafficError):
+            a1_probe_plan(small_fat_tree, ft_routing, 1, rng, packets_per_probe=0)
