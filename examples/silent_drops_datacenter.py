@@ -7,24 +7,31 @@ uniform traffic and half with a rack-level hotspot; each scheme runs on
 the telemetry it supports (Flock on everything; NetBouncer on A1/INT;
 007 on A2).
 
-Run:  python examples/silent_drops_datacenter.py
+Run:  python examples/silent_drops_datacenter.py [--jobs N]
+
+The whole grid goes through one ``evaluate_many`` call: schemes that
+share a telemetry spec (e.g. Flock and NetBouncer on INT) build their
+inference problems once per trace, and ``--jobs`` distributes traces
+over a process pool.
 """
+
+import argparse
 
 import numpy as np
 
 from repro import EcmpRouting, SilentLinkDrops, three_tier_clos
-from repro.eval.experiments import (
-    flock_setup,
-    netbouncer_setup,
-    standard_scheme_suite,
-    v007_setup,
-)
-from repro.eval.harness import evaluate
+from repro.eval.experiments import standard_scheme_suite
+from repro.eval.harness import evaluate_many
 from repro.eval.metrics import error_reduction
+from repro.eval.runner import RunnerConfig
 from repro.eval.scenarios import make_trace_batch
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel workers (process pool when > 1)")
+    args = parser.parse_args()
     topo = three_tier_clos(
         pods=4, tors_per_pod=4, aggs_per_pod=2,
         core_groups=2, cores_per_group=2, hosts_per_tor=3,
@@ -44,15 +51,17 @@ def main():
     n_failures = [len(t.ground_truth.failed_links) for t in traces]
     print(f"traces: {len(traces)}, concurrent failures per trace: {n_failures}")
 
-    results = {}
+    runner = RunnerConfig.resolve(jobs=args.jobs)
+    suite = standard_scheme_suite()
+    results = evaluate_many(suite, traces, runner)
     print(f"\n{'scheme':26s} {'precision':>9s} {'recall':>7s} {'fscore':>7s} "
-          f"{'time':>8s}")
-    for setup in standard_scheme_suite():
-        summary = evaluate(setup, traces)
-        results[setup.labeled()] = summary
+          f"{'build':>8s} {'infer':>8s}")
+    for setup in suite:
+        summary = results[setup.labeled()]
         acc = summary.accuracy
         print(f"{setup.labeled():26s} {acc.precision:9.3f} {acc.recall:7.3f} "
-              f"{acc.fscore:7.3f} {summary.mean_inference_seconds*1e3:6.0f}ms")
+              f"{acc.fscore:7.3f} {summary.mean_build_seconds*1e3:6.0f}ms "
+              f"{summary.mean_inference_seconds*1e3:6.0f}ms")
 
     flock_int = results["Flock (INT)"].accuracy.fscore
     nb_int = results["NetBouncer (INT)"].accuracy.fscore

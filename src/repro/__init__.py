@@ -41,9 +41,11 @@ from .core import (
 )
 from .errors import ReproError
 from .eval import (
+    RunnerConfig,
     SchemeSetup,
     Trace,
     evaluate,
+    evaluate_many,
     evaluate_prediction,
     fscore,
     make_trace,
@@ -120,11 +122,13 @@ __all__ = [
     "NetBouncer",
     "SherlockFerret",
     # eval
+    "RunnerConfig",
     "SchemeSetup",
     "Trace",
     "make_trace",
     "run_on_trace",
     "evaluate",
+    "evaluate_many",
     "evaluate_prediction",
     "fscore",
     # types

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Callable, Dict, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..errors import CalibrationError
 from ..telemetry.inputs import TelemetryConfig
-from ..eval.harness import SchemeSetup, evaluate
+from ..eval.harness import SchemeSetup, evaluate_many
+from ..eval.runner import RunnerConfig
 from ..eval.scenarios import Trace
 
 
@@ -55,19 +56,33 @@ def calibrate(
     traces: Sequence[Trace],
     telemetry: TelemetryConfig,
     name: str = "candidate",
+    runner: Optional[RunnerConfig] = None,
 ) -> List[CalibrationPoint]:
     """Evaluate every grid setting on the training traces.
 
     ``scheme_factory(**params)`` must return a localizer.  Returns one
     :class:`CalibrationPoint` per setting, in grid order.
+
+    The whole grid is evaluated as one batch: every setting shares the
+    same telemetry spec, so the runner builds each trace's inference
+    problem once for all settings, and ``runner`` fans the traces out
+    over workers.
     """
     if not traces:
         raise CalibrationError("calibration needs at least one training trace")
+    grid_params = iter_grid(grid)
+    setups = [
+        SchemeSetup(
+            name=f"{name}[{i}]",
+            localizer=scheme_factory(**params),
+            telemetry=telemetry,
+        )
+        for i, params in enumerate(grid_params)
+    ]
+    summaries = evaluate_many(setups, traces, runner)
     points: List[CalibrationPoint] = []
-    for params in iter_grid(grid):
-        localizer = scheme_factory(**params)
-        setup = SchemeSetup(name=name, localizer=localizer, telemetry=telemetry)
-        summary = evaluate(setup, traces)
+    for setup, params in zip(setups, grid_params):
+        summary = summaries[setup.labeled()]
         points.append(
             CalibrationPoint(
                 params=params,

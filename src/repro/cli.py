@@ -4,18 +4,22 @@ Examples::
 
     repro-flock list
     repro-flock run fig2 --preset ci
+    repro-flock run fig2 --preset ci --jobs 4
     repro-flock run fig4c --preset paper --seed 3
-    repro-flock run all --preset ci
+    repro-flock run all --preset ci --jobs 8 --executor process
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from .errors import ReproError
 from .eval import experiments
 from .eval.reporting import print_result
+from .eval.runner import EXECUTORS, RunnerConfig
 
 #: Experiment registry: name -> callable(preset, seed) -> ExperimentResult.
 EXPERIMENTS: Dict[str, Callable] = {
@@ -48,6 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all", "fig6"])
     run.add_argument("--preset", choices=experiments.PRESETS, default="ci")
     run.add_argument("--seed", type=int, default=None)
+    run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel workers for scheme evaluation (default: serial)",
+    )
+    run.add_argument(
+        "--executor", choices=EXECUTORS, default=None,
+        help="execution backend; defaults to 'process' when --jobs > 1",
+    )
 
     dataset = sub.add_parser(
         "dataset", help="generate the six-scenario telemetry dataset"
@@ -59,7 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(name: str, preset: str, seed) -> None:
+def _run_one(
+    name: str, preset: str, seed, runner: Optional[RunnerConfig] = None
+) -> None:
     if name == "fig6":
         print_result(experiments.fig6_worked_example())
         return
@@ -67,10 +81,28 @@ def _run_one(name: str, preset: str, seed) -> None:
     kwargs = {"preset": preset}
     if seed is not None:
         kwargs["seed"] = seed
+    # Timing-focused experiments (fig4c, scan-rate) take no runner; only
+    # pass one where the driver supports parallel evaluation.
+    if runner is not None and "runner" in inspect.signature(func).parameters:
+        kwargs["runner"] = runner
     print_result(func(**kwargs))
 
 
+def _runner_from_args(args) -> Optional[RunnerConfig]:
+    if args.jobs is None and args.executor is None:
+        return None
+    return RunnerConfig.resolve(jobs=args.jobs, executor=args.executor)
+
+
 def main(argv=None) -> int:
+    try:
+        return _main(argv)
+    except ReproError as exc:
+        print(f"repro-flock: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "dataset":
         from .eval.dataset import generate_suite
@@ -86,11 +118,12 @@ def main(argv=None) -> int:
         for name in sorted(EXPERIMENTS) + ["fig6"]:
             print(name)
         return 0
+    runner = _runner_from_args(args)
     if args.experiment == "all":
         for name in sorted(EXPERIMENTS) + ["fig6"]:
-            _run_one(name, args.preset, args.seed)
+            _run_one(name, args.preset, args.seed, runner)
         return 0
-    _run_one(args.experiment, args.preset, args.seed)
+    _run_one(args.experiment, args.preset, args.seed, runner)
     return 0
 
 

@@ -6,10 +6,12 @@ from .harness import (
     SchemeSetup,
     TraceResult,
     build_problem,
+    effective_telemetry,
     evaluate,
     evaluate_many,
     run_on_trace,
 )
+from .runner import EXECUTORS, ProblemCache, RunnerConfig, RunnerStats, run_grid
 from .metrics import (
     AggregateMetrics,
     TraceMetrics,
@@ -28,9 +30,15 @@ __all__ = [
     "TraceResult",
     "EvalSummary",
     "build_problem",
+    "effective_telemetry",
     "run_on_trace",
     "evaluate",
     "evaluate_many",
+    "EXECUTORS",
+    "ProblemCache",
+    "RunnerConfig",
+    "RunnerStats",
+    "run_grid",
     "TraceMetrics",
     "AggregateMetrics",
     "aggregate",

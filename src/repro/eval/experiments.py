@@ -58,8 +58,14 @@ from ..topology import (
     three_tier_clos,
 )
 from ..types import FlowObservation, TelemetryKind
-from .harness import SchemeSetup, build_problem, evaluate, run_on_trace
+from .harness import (
+    SchemeSetup,
+    build_problem,
+    evaluate,
+    evaluate_many,
+)
 from .metrics import fscore
+from .runner import RunnerConfig
 from .scenarios import SKEWED, UNIFORM, Trace, make_trace, make_trace_batch
 
 PRESETS = ("ci", "paper")
@@ -197,7 +203,11 @@ def silent_drop_traces(
 # ----------------------------------------------------------------------
 
 
-def fig2_tradeoff(preset: str = "ci", seed: int = 7) -> ExperimentResult:
+def fig2_tradeoff(
+    preset: str = "ci",
+    seed: int = 7,
+    runner: Optional[RunnerConfig] = None,
+) -> ExperimentResult:
     """Silent-drop accuracy at two monitoring volumes (Fig. 2a/2b).
 
     Rows: one per (volume, scheme-with-input) with precision/recall/
@@ -223,8 +233,10 @@ def fig2_tradeoff(preset: str = "ci", seed: int = 7) -> ExperimentResult:
         traces = silent_drop_traces(
             preset, seed, n_passive=n_passive, n_probes=n_probes
         )
-        for setup in standard_scheme_suite():
-            summary = evaluate(setup, traces)
+        suite = standard_scheme_suite()
+        summaries = evaluate_many(suite, traces, runner)
+        for setup in suite:
+            summary = summaries[setup.labeled()]
             result.rows.append(
                 {
                     "volume": volume_name,
@@ -243,7 +255,11 @@ def fig2_tradeoff(preset: str = "ci", seed: int = 7) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def fig2c_device_failures(preset: str = "ci", seed: int = 11) -> ExperimentResult:
+def fig2c_device_failures(
+    preset: str = "ci",
+    seed: int = 11,
+    runner: Optional[RunnerConfig] = None,
+) -> ExperimentResult:
     """Device failures: fail 25%-100% of a device's links (Fig. 2c)."""
     _check_preset(preset)
     scale = _scale(preset)
@@ -266,8 +282,10 @@ def fig2c_device_failures(preset: str = "ci", seed: int = 11) -> ExperimentResul
             "Flock A2 fscore 0.97 vs 007 0.76"
         ),
     )
-    for setup in standard_scheme_suite():
-        summary = evaluate(setup, traces)
+    suite = standard_scheme_suite()
+    summaries = evaluate_many(suite, traces, runner)
+    for setup in suite:
+        summary = summaries[setup.labeled()]
         result.rows.append(
             {
                 "scheme": setup.labeled(),
@@ -284,7 +302,11 @@ def fig2c_device_failures(preset: str = "ci", seed: int = 11) -> ExperimentResul
 # ----------------------------------------------------------------------
 
 
-def fig3_snr(preset: str = "ci", seed: int = 13) -> ExperimentResult:
+def fig3_snr(
+    preset: str = "ci",
+    seed: int = 13,
+    runner: Optional[RunnerConfig] = None,
+) -> ExperimentResult:
     """F-score vs failed-link drop rate, uniform and skewed traffic."""
     _check_preset(preset)
     scale = _scale(preset)
@@ -322,13 +344,20 @@ def fig3_snr(preset: str = "ci", seed: int = 13) -> ExperimentResult:
                 )
                 for rep in range(n_reps)
             ]
-            for setup in setups:
-                if traffic == SKEWED and TelemetryKind.A1 in setup.telemetry.kinds \
-                        and len(setup.telemetry.kinds) == 1:
-                    # Paper: A1-only schemes are unaffected by skew in
-                    # application traffic and are omitted from Fig. 3b.
-                    continue
-                summary = evaluate(setup, traces)
+            included = [
+                setup
+                for setup in setups
+                # Paper: A1-only schemes are unaffected by skew in
+                # application traffic and are omitted from Fig. 3b.
+                if not (
+                    traffic == SKEWED
+                    and TelemetryKind.A1 in setup.telemetry.kinds
+                    and len(setup.telemetry.kinds) == 1
+                )
+            ]
+            summaries = evaluate_many(included, traces, runner)
+            for setup in included:
+                summary = summaries[setup.labeled()]
                 result.rows.append(
                     {
                         "traffic": traffic,
@@ -353,7 +382,11 @@ def _testbed_scale(preset: str) -> Dict[str, int]:
     return {"n_passive": 4_000, "n_traces": 6}
 
 
-def fig4a_queue_misconfig(preset: str = "ci", seed: int = 17) -> ExperimentResult:
+def fig4a_queue_misconfig(
+    preset: str = "ci",
+    seed: int = 17,
+    runner: Optional[RunnerConfig] = None,
+) -> ExperimentResult:
     """Misconfigured WRED queue on the testbed topology (Fig. 4a).
 
     A1 schemes are omitted, as in the paper ("our switches don't have
@@ -383,8 +416,9 @@ def fig4a_queue_misconfig(preset: str = "ci", seed: int = 17) -> ExperimentResul
             "0.87; Flock A2 0.97 vs 007 0.5; Flock A2+P close to INT"
         ),
     )
+    summaries = evaluate_many(setups, traces, runner)
     for setup in setups:
-        summary = evaluate(setup, traces)
+        summary = summaries[setup.labeled()]
         result.rows.append(
             {
                 "scheme": setup.labeled(),
@@ -401,7 +435,11 @@ def fig4a_queue_misconfig(preset: str = "ci", seed: int = 17) -> ExperimentResul
 # ----------------------------------------------------------------------
 
 
-def fig4b_link_flap(preset: str = "ci", seed: int = 19) -> ExperimentResult:
+def fig4b_link_flap(
+    preset: str = "ci",
+    seed: int = 19,
+    runner: Optional[RunnerConfig] = None,
+) -> ExperimentResult:
     """Link flap on the testbed: RTT spikes, per-flow analysis (Fig. 4b)."""
     _check_preset(preset)
     scale = _testbed_scale(preset)
@@ -427,8 +465,9 @@ def fig4b_link_flap(preset: str = "ci", seed: int = 19) -> ExperimentResult:
             "Flock A2 reduces error 1.8x over 007"
         ),
     )
+    summaries = evaluate_many(setups, traces, runner)
     for setup in setups:
-        summary = evaluate(setup, traces)
+        summary = summaries[setup.labeled()]
         result.rows.append(
             {
                 "scheme": setup.labeled(),
@@ -567,9 +606,22 @@ def fig4c_runtime(preset: str = "ci", seed: int = 23) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def fig4d_scheme_runtime(preset: str = "ci", seed: int = 29) -> ExperimentResult:
-    """Runtime of every scheme on its input, across topology sizes."""
+def fig4d_scheme_runtime(
+    preset: str = "ci",
+    seed: int = 29,
+    runner: Optional[RunnerConfig] = None,
+) -> ExperimentResult:
+    """Runtime of every scheme on its input, across topology sizes.
+
+    Build times must be *cold*, per-scheme measurements (the figure
+    compares end-to-end scheme cost), so the problem cache is disabled
+    here; with one trace per size the grid runs serially regardless of
+    ``runner``, keeping inference timings uncontended.
+    """
     _check_preset(preset)
+    timing_runner = replace(
+        runner if runner is not None else RunnerConfig(), cache=False
+    )
     ks = [4, 6, 8] if preset == "ci" else [8, 12, 16]
     flows_per_server = 20 if preset == "ci" else 100
     setups = [
@@ -597,15 +649,16 @@ def fig4d_scheme_runtime(preset: str = "ci", seed: int = 29) -> ExperimentResult
             topo, routing, SilentLinkDrops(n_failures=2), seed=seed + k,
             n_passive=n_servers * flows_per_server, n_probes=n_servers * 2,
         )
+        summaries = evaluate_many(setups, [trace], timing_runner)
         for setup in setups:
-            outcome = run_on_trace(setup, trace)
+            summary = summaries[setup.labeled()]
             result.rows.append(
                 {
                     "servers": n_servers,
                     "k": k,
                     "scheme": setup.labeled(),
-                    "seconds": outcome.inference_seconds,
-                    "build_seconds": outcome.build_seconds,
+                    "seconds": summary.mean_inference_seconds,
+                    "build_seconds": summary.mean_build_seconds,
                 }
             )
     return result
@@ -616,7 +669,11 @@ def fig4d_scheme_runtime(preset: str = "ci", seed: int = 29) -> ExperimentResult
 # ----------------------------------------------------------------------
 
 
-def fig5_irregular(preset: str = "ci", seed: int = 31) -> ExperimentResult:
+def fig5_irregular(
+    preset: str = "ci",
+    seed: int = 31,
+    runner: Optional[RunnerConfig] = None,
+) -> ExperimentResult:
     """Accuracy vs fraction of omitted links, including Flock (P)."""
     _check_preset(preset)
     scale = _scale(preset)
@@ -648,8 +705,9 @@ def fig5_irregular(preset: str = "ci", seed: int = 31) -> ExperimentResult:
             netbouncer_setup("INT"),
             v007_setup("A2"),
         ]
+        summaries = evaluate_many(setups, traces, runner)
         for setup in setups:
-            summary = evaluate(setup, traces)
+            summary = summaries[setup.labeled()]
             result.rows.append(
                 {
                     "fraction_omitted": fraction,
@@ -667,7 +725,11 @@ def fig5_irregular(preset: str = "ci", seed: int = 31) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def fig5c_passive_hard(preset: str = "ci", seed: int = 37) -> ExperimentResult:
+def fig5c_passive_hard(
+    preset: str = "ci",
+    seed: int = 37,
+    runner: Optional[RunnerConfig] = None,
+) -> ExperimentResult:
     """Passive-only localization with <5% omitted links (Fig. 5c)."""
     _check_preset(preset)
     scale = _scale(preset)
@@ -693,7 +755,7 @@ def fig5c_passive_hard(preset: str = "ci", seed: int = 37) -> ExperimentResult:
             topo, routing, scenarios, base_seed=seed + int(fraction * 100),
             n_passive=scale["n_passive"], n_probes=0,
         )
-        summary = evaluate(setup, traces)
+        summary = evaluate(setup, traces, runner)
         max_precisions = [
             theoretical_max_precision(classes, trace.ground_truth.failed_links)
             for trace in traces
@@ -715,7 +777,11 @@ def fig5c_passive_hard(preset: str = "ci", seed: int = 37) -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def table1_robustness(preset: str = "ci", seed: int = 41) -> ExperimentResult:
+def table1_robustness(
+    preset: str = "ci",
+    seed: int = 41,
+    runner: Optional[RunnerConfig] = None,
+) -> ExperimentResult:
     """Train/test environment mismatch (Table 1), per scheme.
 
     For each test environment we evaluate Flock with parameters
@@ -778,15 +844,17 @@ def table1_robustness(preset: str = "ci", seed: int = 41) -> ExperimentResult:
         notes="Paper: Flock loses <2% accuracy under mismatch; NetBouncer 31%",
     )
 
-    train_points = calibrate(flock_factory, grid, train, telemetry)
+    train_points = calibrate(flock_factory, grid, train, telemetry, runner=runner)
     train_choice = choose_operating_point(train_points)
     for env_name, test_traces in environments.items():
-        same_points = calibrate(flock_factory, grid, test_traces, telemetry)
+        same_points = calibrate(
+            flock_factory, grid, test_traces, telemetry, runner=runner
+        )
         same_choice = choose_operating_point(same_points)
         for mode, choice in (("D", train_choice), ("S", same_choice)):
             localizer = flock_factory(**choice.params)
             setup = SchemeSetup("Flock", localizer, telemetry)
-            summary = evaluate(setup, test_traces)
+            summary = evaluate(setup, test_traces, runner)
             result.rows.append(
                 {
                     "scheme": "Flock (A1+A2+P)",
@@ -866,7 +934,11 @@ def fig6_worked_example() -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 
-def fig8a_sensitivity(preset: str = "ci", seed: int = 43) -> ExperimentResult:
+def fig8a_sensitivity(
+    preset: str = "ci",
+    seed: int = 43,
+    runner: Optional[RunnerConfig] = None,
+) -> ExperimentResult:
     """F-score over a (pg, pb) grid (Fig. 8a)."""
     _check_preset(preset)
     traces = silent_drop_traces(preset, seed, max_failures=4)
@@ -876,27 +948,41 @@ def fig8a_sensitivity(preset: str = "ci", seed: int = 43) -> ExperimentResult:
         description="Sensitivity to pg and pb",
         notes="Paper: accuracy high over a wide (pg, pb) region",
     )
-    for pg in (1e-4, 3e-4, 5e-4, 7e-4):
-        for pb in (2e-3, 4e-3, 6e-3, 1e-2):
-            setup = SchemeSetup(
-                "Flock",
-                FlockInference(FlockParams(pg=pg, pb=pb, rho=5e-4)),
-                telemetry,
-            )
-            summary = evaluate(setup, traces)
-            result.rows.append(
-                {
-                    "pg": pg,
-                    "pb": pb,
-                    "fscore": summary.accuracy.fscore,
-                    "precision": summary.accuracy.precision,
-                    "recall": summary.accuracy.recall,
-                }
-            )
+    # One batch: all settings share the telemetry spec, so each trace's
+    # problem is built once for the whole (pg, pb) grid.
+    settings = [
+        (pg, pb)
+        for pg in (1e-4, 3e-4, 5e-4, 7e-4)
+        for pb in (2e-3, 4e-3, 6e-3, 1e-2)
+    ]
+    setups = [
+        SchemeSetup(
+            f"Flock pg={pg:g} pb={pb:g}",
+            FlockInference(FlockParams(pg=pg, pb=pb, rho=5e-4)),
+            telemetry,
+        )
+        for pg, pb in settings
+    ]
+    summaries = evaluate_many(setups, traces, runner)
+    for setup, (pg, pb) in zip(setups, settings):
+        summary = summaries[setup.labeled()]
+        result.rows.append(
+            {
+                "pg": pg,
+                "pb": pb,
+                "fscore": summary.accuracy.fscore,
+                "precision": summary.accuracy.precision,
+                "recall": summary.accuracy.recall,
+            }
+        )
     return result
 
 
-def fig8b_priors(preset: str = "ci", seed: int = 47) -> ExperimentResult:
+def fig8b_priors(
+    preset: str = "ci",
+    seed: int = 47,
+    runner: Optional[RunnerConfig] = None,
+) -> ExperimentResult:
     """Effect of the prior rho on precision/recall (Fig. 8b)."""
     _check_preset(preset)
     traces = silent_drop_traces(preset, seed, max_failures=4)
@@ -906,13 +992,18 @@ def fig8b_priors(preset: str = "ci", seed: int = 47) -> ExperimentResult:
         description="Effect of the failure prior rho",
         notes="Paper: larger priors move points right (higher precision)",
     )
-    for rho in (1e-5, 1e-4, 5e-4, 2e-3, 1e-2):
-        setup = SchemeSetup(
-            "Flock",
+    rhos = (1e-5, 1e-4, 5e-4, 2e-3, 1e-2)
+    setups = [
+        SchemeSetup(
+            f"Flock rho={rho:g}",
             FlockInference(FlockParams(pg=3e-4, pb=4e-3, rho=rho)),
             telemetry,
         )
-        summary = evaluate(setup, traces)
+        for rho in rhos
+    ]
+    summaries = evaluate_many(setups, traces, runner)
+    for setup, rho in zip(setups, rhos):
+        summary = summaries[setup.labeled()]
         result.rows.append(
             {
                 "rho": rho,

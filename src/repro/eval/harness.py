@@ -5,19 +5,41 @@ consumes (the paper annotates every scheme this way: "Flock (A1+A2+P)",
 "NetBouncer (INT)", "007 (A2)", ...).  The harness builds the inference
 problem for each trace, runs localization, times it, and scores the
 prediction.
+
+Execution architecture
+----------------------
+
+:func:`evaluate` and :func:`evaluate_many` are thin front-ends over the
+runner subsystem in :mod:`repro.eval.runner`:
+
+* The grid of (scheme, trace) work is partitioned into per-*trace*
+  units so schemes sharing a telemetry spec build their observations
+  once per trace through a :class:`~repro.eval.runner.ProblemCache`.
+* A :class:`~repro.eval.runner.RunnerConfig` selects the executor
+  (``serial`` / ``thread`` / ``process``) and worker count;
+  ``evaluate_many(..., jobs=N)`` is shorthand for an N-worker process
+  pool.  Results are streamed into per-scheme accumulators as units
+  complete, then frozen into :class:`EvalSummary` objects.
+* All randomness derives from each trace's seed, so every executor
+  produces bit-identical metrics for fixed seeds.
+
+The timing split matters for the runtime figures (Fig. 4c/4d):
+``build_seconds`` is problem construction (telemetry -> observations ->
+:class:`InferenceProblem`) and ``inference_seconds`` is localization
+proper; :class:`EvalSummary` reports the mean of each separately.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.problem import InferenceProblem
 from ..simulation.failures import PER_FLOW
-from ..telemetry.inputs import TelemetryConfig, build_observations
+from ..telemetry.inputs import PathMemo, TelemetryConfig, build_observations
 from ..types import Prediction
 from .metrics import AggregateMetrics, TraceMetrics, aggregate, evaluate_prediction
 from .scenarios import Trace
@@ -37,13 +59,18 @@ class SchemeSetup:
 
 @dataclass
 class TraceResult:
-    """Outcome of one scheme on one trace."""
+    """Outcome of one scheme on one trace.
+
+    ``problem`` is ``None`` for results produced by the process
+    executor - shipping the built problem back over IPC is not worth
+    it; rebuild with :func:`build_problem` if you need it.
+    """
 
     prediction: Prediction
     metrics: TraceMetrics
     build_seconds: float
     inference_seconds: float
-    problem: InferenceProblem
+    problem: Optional[InferenceProblem]
 
 
 @dataclass
@@ -54,25 +81,40 @@ class EvalSummary:
     per_trace: List[TraceResult]
     accuracy: AggregateMetrics
     mean_inference_seconds: float
+    mean_build_seconds: float = 0.0
 
     @property
     def fscore(self) -> float:
         return self.accuracy.fscore
 
 
-def build_problem(trace: Trace, telemetry: TelemetryConfig) -> InferenceProblem:
-    """Build a scheme's inference problem for a trace.
+def effective_telemetry(trace: Trace, telemetry: TelemetryConfig) -> TelemetryConfig:
+    """The telemetry config a trace is actually built with.
 
     The telemetry analysis mode follows the trace's scenario: a
     per-flow-analysis trace (link flap) overrides the config's mode,
-    exactly as the paper switches analyses per failure type.
+    exactly as the paper switches analyses per failure type.  Problem
+    caching keys on this, not the raw config.
     """
-    config = telemetry
     if trace.analysis == PER_FLOW and telemetry.analysis != PER_FLOW:
-        config = replace(telemetry, analysis=PER_FLOW)
+        return replace(telemetry, analysis=PER_FLOW)
+    return telemetry
+
+
+def build_problem(
+    trace: Trace,
+    telemetry: TelemetryConfig,
+    memo: Optional[PathMemo] = None,
+) -> InferenceProblem:
+    """Build a scheme's inference problem for a trace.
+
+    ``memo`` shares path-component lookups between builds of the same
+    trace (pure topology functions, so sharing cannot change results).
+    """
+    config = effective_telemetry(trace, telemetry)
     rng = np.random.default_rng(trace.seed + 0x5EED)
     observations = build_observations(
-        trace.records, trace.topology, trace.routing, config, rng
+        trace.records, trace.topology, trace.routing, config, rng, memo
     )
     return InferenceProblem.from_observations(
         observations,
@@ -81,42 +123,87 @@ def build_problem(trace: Trace, telemetry: TelemetryConfig) -> InferenceProblem:
     )
 
 
-def run_on_trace(setup: SchemeSetup, trace: Trace) -> TraceResult:
-    """Run one scheme on one trace and score it."""
+def timed_build(
+    trace: Trace,
+    telemetry: TelemetryConfig,
+    memo: Optional[PathMemo] = None,
+) -> Tuple[InferenceProblem, float]:
+    """Build a problem and measure construction time."""
     t0 = time.perf_counter()
-    problem = build_problem(trace, setup.telemetry)
-    t1 = time.perf_counter()
+    problem = build_problem(trace, telemetry, memo)
+    return problem, time.perf_counter() - t0
+
+
+def score_problem(
+    setup: SchemeSetup,
+    trace: Trace,
+    problem: InferenceProblem,
+    build_seconds: float,
+) -> TraceResult:
+    """Localize on an already-built problem and score the prediction."""
+    t0 = time.perf_counter()
     prediction = setup.localizer.localize(problem)
-    t2 = time.perf_counter()
+    inference_seconds = time.perf_counter() - t0
     metrics = evaluate_prediction(prediction, trace.ground_truth, trace.topology)
     return TraceResult(
         prediction=prediction,
         metrics=metrics,
-        build_seconds=t1 - t0,
-        inference_seconds=t2 - t1,
+        build_seconds=build_seconds,
+        inference_seconds=inference_seconds,
         problem=problem,
     )
 
 
-def evaluate(setup: SchemeSetup, traces: Sequence[Trace]) -> EvalSummary:
-    """Run one scheme over a batch of traces and aggregate."""
-    results = [run_on_trace(setup, trace) for trace in traces]
+def run_on_trace(setup: SchemeSetup, trace: Trace) -> TraceResult:
+    """Run one scheme on one trace and score it."""
+    problem, build_seconds = timed_build(trace, setup.telemetry)
+    return score_problem(setup, trace, problem, build_seconds)
+
+
+def summarize(setup: SchemeSetup, results: Sequence[TraceResult]) -> EvalSummary:
+    """Freeze a scheme's per-trace results into an EvalSummary."""
     acc = aggregate([r.metrics for r in results])
-    mean_t = (
-        sum(r.inference_seconds for r in results) / len(results)
-        if results
-        else 0.0
-    )
+    n = len(results)
     return EvalSummary(
         setup_label=setup.labeled(),
-        per_trace=results,
+        per_trace=list(results),
         accuracy=acc,
-        mean_inference_seconds=mean_t,
+        mean_inference_seconds=(
+            sum(r.inference_seconds for r in results) / n if n else 0.0
+        ),
+        mean_build_seconds=(
+            sum(r.build_seconds for r in results) / n if n else 0.0
+        ),
     )
+
+
+def evaluate(
+    setup: SchemeSetup,
+    traces: Sequence[Trace],
+    runner: Optional["RunnerConfig"] = None,
+) -> EvalSummary:
+    """Run one scheme over a batch of traces and aggregate."""
+    from .runner import run_grid
+
+    return run_grid([setup], traces, runner)[setup.labeled()]
 
 
 def evaluate_many(
-    setups: Sequence[SchemeSetup], traces: Sequence[Trace]
+    setups: Sequence[SchemeSetup],
+    traces: Sequence[Trace],
+    runner: Optional["RunnerConfig"] = None,
+    *,
+    jobs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> Dict[str, EvalSummary]:
-    """Evaluate several schemes on the same traces (the paper's tables)."""
-    return {setup.labeled(): evaluate(setup, traces) for setup in setups}
+    """Evaluate several schemes on the same traces (the paper's tables).
+
+    ``runner`` gives full control over execution; ``jobs``/``executor``
+    are conveniences (``jobs=4`` alone means a 4-worker process pool).
+    Raises :class:`~repro.errors.ExperimentError` when two setups share
+    a label, since their results would silently overwrite each other.
+    """
+    from .runner import RunnerConfig, run_grid
+
+    config = RunnerConfig.resolve(runner, jobs, executor)
+    return run_grid(setups, traces, config)

@@ -1,0 +1,262 @@
+"""Parallel experiment execution: executors, problem cache, streaming.
+
+The harness used to run every (scheme, trace) pair strictly serially
+and rebuild the telemetry observations for each scheme even when two
+schemes consume the same input (the Fig. 2 grid evaluates eight schemes
+over five distinct telemetry specs, so three of every eight problem
+builds were redundant).  This module factors experiment execution into
+three pluggable pieces:
+
+* **Work units** - one unit per *trace*, covering every scheme on that
+  trace (:func:`_run_trace_unit`).  Grouping by trace keeps the problem
+  cache effective under every executor: all schemes that share a
+  telemetry spec hit the same cached problem no matter how traces are
+  distributed over workers.
+* **Executors** - ``"serial"`` (plain loop), ``"thread"``
+  (:class:`~concurrent.futures.ThreadPoolExecutor`), and ``"process"``
+  (:class:`~concurrent.futures.ProcessPoolExecutor`), selected by
+  :class:`RunnerConfig`.  A failure in any unit propagates out of
+  :func:`run_grid` as the original exception; remaining units are
+  cancelled rather than left to hang.
+* **Streaming aggregation** - completed units feed per-scheme
+  :class:`_SummaryAccumulator` objects as they arrive, so metric sums
+  are folded in completion order while per-trace results stay in trace
+  order.  Serial and parallel paths therefore produce bit-identical
+  :class:`~repro.eval.harness.EvalSummary` metrics for fixed seeds.
+
+Determinism: every work unit derives its randomness from the trace's
+own seed (see :func:`~repro.eval.harness.build_problem`), so results do
+not depend on the executor, the number of jobs, or completion order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How to execute an evaluation grid.
+
+    ``executor`` is one of :data:`EXECUTORS`; ``jobs`` is the worker
+    count (ignored by the serial executor).  ``cache`` disables the
+    per-trace problem cache, which only exists so benchmarks can
+    measure the legacy rebuild-per-scheme behaviour.
+    """
+
+    executor: str = "serial"
+    jobs: int = 1
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ExperimentError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {self.jobs}")
+
+    @staticmethod
+    def resolve(
+        runner: Optional["RunnerConfig"] = None,
+        jobs: Optional[int] = None,
+        executor: Optional[str] = None,
+    ) -> "RunnerConfig":
+        """Normalize the (runner | jobs/executor) calling conventions.
+
+        ``jobs=N`` alone picks the process executor for N > 1, matching
+        the CLI's ``--jobs`` flag; an explicit ``runner`` wins.
+        """
+        if runner is not None:
+            return runner
+        if jobs is None and executor is None:
+            return RunnerConfig()
+        n = jobs if jobs is not None else (os.cpu_count() or 1)
+        if executor is None:
+            executor = "serial" if n == 1 else "process"
+        return RunnerConfig(executor=executor, jobs=n)
+
+
+@dataclass
+class RunnerStats:
+    """Observability counters filled in by :func:`run_grid`."""
+
+    traces_run: int = 0
+    problems_built: int = 0
+    cache_hits: int = 0
+
+    def merge(self, built: int, hits: int) -> None:
+        self.traces_run += 1
+        self.problems_built += built
+        self.cache_hits += hits
+
+
+class ProblemCache:
+    """Memoizes built inference problems within one trace's work unit.
+
+    Keyed by the *effective* telemetry config (after the per-flow
+    analysis override), so e.g. ``Flock (A2)`` and ``007 (A2)`` share
+    one build.  Distinct specs still share work: one
+    :class:`~repro.telemetry.inputs.PathMemo` per cache reuses
+    path-component lookups across every build of the trace.  Records
+    the original build time with each entry so cache hits still report
+    the cost of constructing their problem.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[object, Tuple[object, float]] = {}
+        self._memo = None
+        self.hits = 0
+
+    def get(self, trace, telemetry):
+        """Return (problem, build_seconds) for a trace + telemetry spec."""
+        from ..telemetry.inputs import PathMemo
+        from .harness import effective_telemetry, timed_build
+
+        key = effective_telemetry(trace, telemetry)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        if self._memo is None:
+            self._memo = PathMemo(trace.topology, trace.routing)
+        entry = timed_build(trace, telemetry, self._memo)
+        self._entries[key] = entry
+        return entry
+
+    @property
+    def builds(self) -> int:
+        return len(self._entries)
+
+
+def _run_trace_unit(setups, trace, use_cache: bool, keep_problems: bool = True):
+    """Run every scheme on one trace; the unit of parallel work.
+
+    Returns (per-setup TraceResults, problems built, cache hits).
+    ``keep_problems=False`` drops each result's ``problem`` before it
+    crosses a process boundary: the parent only needs predictions and
+    metrics, and pickling every problem's arrays back over IPC can
+    rival the inference work itself.
+    """
+    from .harness import score_problem, timed_build
+
+    cache = ProblemCache()
+    results = []
+    for setup in setups:
+        if use_cache:
+            problem, build_seconds = cache.get(trace, setup.telemetry)
+        else:
+            problem, build_seconds = timed_build(trace, setup.telemetry)
+        result = score_problem(setup, trace, problem, build_seconds)
+        if not keep_problems:
+            result.problem = None
+        results.append(result)
+    built = cache.builds if use_cache else len(setups)
+    return results, built, cache.hits
+
+
+class _SummaryAccumulator:
+    """Streams one scheme's TraceResults into an EvalSummary.
+
+    Units complete out of order under parallel executors; results are
+    slotted by trace index so ``per_trace`` and the aggregated metrics
+    match the serial path exactly.
+    """
+
+    def __init__(self, setup, n_traces: int):
+        self._setup = setup
+        self._slots: List[Optional[object]] = [None] * n_traces
+
+    def add(self, trace_idx: int, result) -> None:
+        self._slots[trace_idx] = result
+
+    def finish(self):
+        from .harness import summarize
+
+        results = [r for r in self._slots if r is not None]
+        return summarize(self._setup, results)
+
+
+def _make_pool(config: RunnerConfig) -> Executor:
+    if config.executor == "thread":
+        return ThreadPoolExecutor(max_workers=config.jobs)
+    return ProcessPoolExecutor(max_workers=config.jobs)
+
+
+def run_grid(
+    setups: Sequence,
+    traces: Sequence,
+    config: Optional[RunnerConfig] = None,
+    stats: Optional[RunnerStats] = None,
+) -> Dict[str, object]:
+    """Evaluate a scheme x trace grid under the configured executor.
+
+    Returns ``{setup.labeled(): EvalSummary}`` in setup order.  Raises
+    :class:`ExperimentError` when two setups share a label (their
+    summaries would silently overwrite each other).
+
+    Parallelism is across *traces* (the work unit that keeps the
+    problem cache effective), so a single-trace grid always runs
+    serially: pool overhead would dominate, and per-scheme timing
+    experiments (fig4d) stay undistorted by worker contention.
+    """
+    config = config or RunnerConfig()
+    labels = [setup.labeled() for setup in setups]
+    duplicates = sorted({l for l in labels if labels.count(l) > 1})
+    if duplicates:
+        raise ExperimentError(
+            f"duplicate scheme labels in evaluation grid: {duplicates}; "
+            "give setups distinct names"
+        )
+    accumulators = [
+        _SummaryAccumulator(setup, len(traces)) for setup in setups
+    ]
+
+    def fold(trace_idx: int, outcome) -> None:
+        results, built, hits = outcome
+        for acc, result in zip(accumulators, results):
+            acc.add(trace_idx, result)
+        if stats is not None:
+            stats.merge(built, hits)
+
+    if config.executor == "serial" or len(traces) <= 1:
+        for idx, trace in enumerate(traces):
+            fold(idx, _run_trace_unit(setups, trace, config.cache))
+    else:
+        keep_problems = config.executor != "process"
+        with _make_pool(config) as pool:
+            pending: Dict[object, int] = {}
+            try:
+                for idx, trace in enumerate(traces):
+                    future = pool.submit(
+                        _run_trace_unit, setups, trace, config.cache,
+                        keep_problems,
+                    )
+                    pending[future] = idx
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        idx = pending.pop(future)
+                        # .result() re-raises a worker's exception here
+                        # instead of letting the grid hang half-finished.
+                        fold(idx, future.result())
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                raise
+    return {
+        label: acc.finish() for label, acc in zip(labels, accumulators)
+    }

@@ -78,25 +78,45 @@ class TelemetryConfig:
         return "+".join(k.value for k in order if k in self.kinds)
 
 
-class _PathSetCache:
-    """Memoizes (src, dst) -> component path sets for passive flows."""
+class PathMemo:
+    """Memoizes component lookups for one (topology, routing) pair.
 
-    def __init__(self, topology: Topology, routing: EcmpRouting, include_devices: bool):
+    Both lookup kinds are pure functions of the topology, so a memo can
+    be shared across every telemetry build of the same trace: the INT
+    build resolves exact-path components for all records once, and the
+    A1/A2/P builds then find their (overlapping) paths already cached.
+    The runner's problem cache passes one memo per trace work unit for
+    exactly this reason; a fresh memo per build is the uncached
+    fallback.
+    """
+
+    def __init__(self, topology: Topology, routing: EcmpRouting):
         self._topo = topology
         self._routing = routing
-        self._include_devices = include_devices
-        self._cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {}
+        self._exact: Dict[Tuple, Tuple[int, ...]] = {}
+        self._ecmp: Dict[Tuple, Tuple[Tuple[int, ...], ...]] = {}
 
-    def get(self, src: int, dst: int) -> Tuple[Tuple[int, ...], ...]:
-        key = (src, dst)
-        cached = self._cache.get(key)
+    def exact(self, path, include_devices: bool) -> Tuple[int, ...]:
+        """Components of one known node path."""
+        key = (path, include_devices)
+        cached = self._exact.get(key)
+        if cached is None:
+            cached = self._topo.path_components(path, include_devices)
+            self._exact[key] = cached
+        return cached
+
+    def ecmp(
+        self, src: int, dst: int, include_devices: bool
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Component path *set* for a passive flow's (src, dst)."""
+        key = (src, dst, include_devices)
+        cached = self._ecmp.get(key)
         if cached is None:
             node_paths = self._routing.host_paths(src, dst)
             cached = tuple(
-                self._topo.path_components(p, self._include_devices)
-                for p in node_paths
+                self.exact(p, include_devices) for p in node_paths
             )
-            self._cache[key] = cached
+            self._ecmp[key] = cached
         return cached
 
 
@@ -125,11 +145,13 @@ def build_observations(
     routing: EcmpRouting,
     config: TelemetryConfig,
     rng: Optional[np.random.Generator] = None,
+    memo: Optional[PathMemo] = None,
 ) -> List[FlowObservation]:
     """Build inference observations from ground-truth simulator records.
 
     The simulator knows each flow's exact path; this function decides
-    what each telemetry kind may reveal.
+    what each telemetry kind may reveal.  ``memo`` shares path lookups
+    across builds of the same trace (see :class:`PathMemo`).
     """
     if rng is None:
         rng = np.random.default_rng(0)
@@ -138,7 +160,9 @@ def build_observations(
     want_a2 = TelemetryKind.A2 in kinds
     want_p = TelemetryKind.PASSIVE in kinds
     want_int = TelemetryKind.INT in kinds
-    cache = _PathSetCache(topology, routing, config.include_devices)
+    if memo is None:
+        memo = PathMemo(topology, routing)
+    include_devices = config.include_devices
 
     observations: List[FlowObservation] = []
     for record in records:
@@ -148,7 +172,7 @@ def build_observations(
         if record.is_probe:
             if not (want_a1 or want_int):
                 continue
-            comps = topology.path_components(record.path, config.include_devices)
+            comps = memo.exact(record.path, include_devices)
             observations.append(
                 FlowObservation(
                     path_set=(comps,),
@@ -163,7 +187,7 @@ def build_observations(
         if want_int:
             if config.passive_sampling < 1.0 and rng.random() >= config.passive_sampling:
                 continue
-            comps = topology.path_components(record.path, config.include_devices)
+            comps = memo.exact(record.path, include_devices)
             observations.append(
                 FlowObservation(
                     path_set=(comps,),
@@ -173,7 +197,7 @@ def build_observations(
                 )
             )
         elif want_a2 and flagged:
-            comps = topology.path_components(record.path, config.include_devices)
+            comps = memo.exact(record.path, include_devices)
             observations.append(
                 FlowObservation(
                     path_set=(comps,),
@@ -185,7 +209,7 @@ def build_observations(
         elif want_p:
             if config.passive_sampling < 1.0 and rng.random() >= config.passive_sampling:
                 continue
-            path_set = cache.get(record.src, record.dst)
+            path_set = memo.ecmp(record.src, record.dst, include_devices)
             observations.append(
                 FlowObservation(
                     path_set=path_set,
@@ -203,6 +227,7 @@ def build_observations_from_reports(
     routing: EcmpRouting,
     config: TelemetryConfig,
     rng: Optional[np.random.Generator] = None,
+    memo: Optional[PathMemo] = None,
 ) -> List[FlowObservation]:
     """Build inference observations from collector-side wire reports.
 
@@ -217,7 +242,9 @@ def build_observations_from_reports(
     want_a2 = TelemetryKind.A2 in kinds
     want_p = TelemetryKind.PASSIVE in kinds
     want_int = TelemetryKind.INT in kinds
-    cache = _PathSetCache(topology, routing, config.include_devices)
+    if memo is None:
+        memo = PathMemo(topology, routing)
+    include_devices = config.include_devices
 
     observations: List[FlowObservation] = []
     for report in reports:
@@ -229,7 +256,7 @@ def build_observations_from_reports(
         if report.is_probe:
             if not (want_a1 or want_int) or not has_path:
                 continue
-            comps = topology.path_components(report.path, config.include_devices)
+            comps = memo.exact(report.path, include_devices)
             observations.append(
                 FlowObservation(
                     path_set=(comps,), packets_sent=sent, bad_packets=bad,
@@ -241,7 +268,7 @@ def build_observations_from_reports(
         if want_int and has_path:
             if config.passive_sampling < 1.0 and rng.random() >= config.passive_sampling:
                 continue
-            comps = topology.path_components(report.path, config.include_devices)
+            comps = memo.exact(report.path, include_devices)
             observations.append(
                 FlowObservation(
                     path_set=(comps,), packets_sent=sent, bad_packets=bad,
@@ -249,7 +276,7 @@ def build_observations_from_reports(
                 )
             )
         elif want_a2 and flagged and has_path:
-            comps = topology.path_components(report.path, config.include_devices)
+            comps = memo.exact(report.path, include_devices)
             observations.append(
                 FlowObservation(
                     path_set=(comps,), packets_sent=sent, bad_packets=bad,
@@ -259,7 +286,7 @@ def build_observations_from_reports(
         elif want_p:
             if config.passive_sampling < 1.0 and rng.random() >= config.passive_sampling:
                 continue
-            path_set = cache.get(report.src, report.dst)
+            path_set = memo.ecmp(report.src, report.dst, include_devices)
             observations.append(
                 FlowObservation(
                     path_set=path_set, packets_sent=sent, bad_packets=bad,

@@ -1,0 +1,47 @@
+"""Shared test utilities: the reference parameters and the random
+problem generator used by the JLE, engine-equivalence, and Sherlock
+suites.
+
+Kept outside conftest.py because these are plain importables (a
+hypothesis strategy and constants), not fixtures; test modules import
+them absolutely (``from helpers import ...``) so collection works
+without turning ``tests/`` into a package.
+"""
+
+from hypothesis import strategies as st
+
+from repro.core.params import FlockParams
+from repro.core.problem import InferenceProblem
+from repro.types import FlowObservation
+
+PARAMS = FlockParams(pg=7e-4, pb=6e-3, rho=1e-4)
+N_COMPS = 10
+
+
+@st.composite
+def random_problems(draw):
+    """Small random inference problems over N_COMPS components."""
+    n_flows = draw(st.integers(min_value=1, max_value=12))
+    observations = []
+    for _ in range(n_flows):
+        n_paths = draw(st.integers(min_value=1, max_value=3))
+        path_set = []
+        for _ in range(n_paths):
+            size = draw(st.integers(min_value=1, max_value=4))
+            comps = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=N_COMPS - 1),
+                    min_size=size, max_size=size, unique=True,
+                )
+            )
+            path_set.append(tuple(sorted(comps)))
+        t = draw(st.integers(min_value=1, max_value=200))
+        r = draw(st.integers(min_value=0, max_value=min(t, 8)))
+        observations.append(
+            FlowObservation(
+                path_set=tuple(path_set), packets_sent=t, bad_packets=r
+            )
+        )
+    return InferenceProblem.from_observations(
+        observations, n_components=N_COMPS, n_links=N_COMPS
+    )

@@ -6,13 +6,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from helpers import PARAMS, random_problems
 from repro.baselines.sherlock import SherlockFerret
 from repro.core.model import LikelihoodModel
 from repro.core.problem import InferenceProblem
 from repro.errors import InferenceError
 from repro.types import FlowObservation
-
-from .test_core_jle import PARAMS, random_problems
 
 
 def brute_force(problem, params, k):

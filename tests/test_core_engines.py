@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from helpers import PARAMS, random_problems
 from repro.core.flock import FlockInference
 from repro.core.flock_fast import (
     VectorArrays,
@@ -14,10 +15,7 @@ from repro.core.flock_fast import (
 from repro.core.greedy_nojle import GreedyWithoutJle
 from repro.core.jle import JleState
 from repro.core.model import LikelihoodModel
-from repro.core.params import FlockParams
 from repro.errors import InferenceError
-
-from .test_core_jle import PARAMS, random_problems
 
 
 class TestVectorArrays:

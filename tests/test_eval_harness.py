@@ -98,3 +98,27 @@ class TestHarness:
         assert set(summaries) == {"Flock (A2)", "Flock (INT)"}
         for summary in summaries.values():
             assert summary.accuracy.n_traces == 1
+
+    def test_evaluate_many_rejects_duplicate_labels(self, drop_trace):
+        setups = [
+            SchemeSetup(
+                name="Flock",
+                localizer=FlockInference(DEFAULT_PER_PACKET),
+                telemetry=TelemetryConfig.from_spec("A2"),
+            )
+            for _ in range(2)
+        ]
+        with pytest.raises(ExperimentError, match="duplicate"):
+            evaluate_many(setups, [drop_trace])
+
+    def test_summary_separates_build_and_inference_time(self, drop_trace):
+        setup = SchemeSetup(
+            name="Flock",
+            localizer=FlockInference(DEFAULT_PER_PACKET),
+            telemetry=TelemetryConfig.from_spec("A1+A2+P"),
+        )
+        summary = evaluate(setup, [drop_trace])
+        result = summary.per_trace[0]
+        assert summary.mean_build_seconds == result.build_seconds
+        assert summary.mean_inference_seconds == result.inference_seconds
+        assert summary.mean_build_seconds > 0
