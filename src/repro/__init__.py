@@ -1,7 +1,8 @@
 """Flock: accurate network fault localization at scale - reproduction.
 
 A from-scratch Python implementation of the Flock system (Harsh, Meng,
-Agrawal, Godfrey - CoNEXT 2023): a probabilistic-graphical-model fault
+Agrawal, Godfrey - Proceedings of the ACM on Networking (PACMNET),
+2023): a probabilistic-graphical-model fault
 localizer with greedy + JLE (joint likelihood exploration) inference,
 alongside the baselines it is evaluated against (007, NetBouncer,
 Sherlock), the simulation and telemetry substrates, and the full
@@ -43,6 +44,7 @@ from .errors import ReproError
 from .eval import (
     RunnerConfig,
     SchemeSetup,
+    ShardSpec,
     Trace,
     evaluate,
     evaluate_many,
@@ -50,6 +52,7 @@ from .eval import (
     fscore,
     make_trace,
     run_on_trace,
+    run_sharded,
 )
 from .routing import EcmpRouting
 from .simulation import (
@@ -124,6 +127,8 @@ __all__ = [
     # eval
     "RunnerConfig",
     "SchemeSetup",
+    "ShardSpec",
+    "run_sharded",
     "Trace",
     "make_trace",
     "run_on_trace",

@@ -7,19 +7,45 @@ Examples::
     repro-flock run fig2 --preset ci --jobs 4
     repro-flock run fig4c --preset paper --seed 3
     repro-flock run all --preset ci --jobs 8 --executor process
+
+Distributed (sharded) evaluation splits an experiment's trace batches
+into contiguous index ranges so each range can run as a separate OS
+process or on a separate machine, returning only serialized results::
+
+    repro-flock run fig2 --preset ci --shards 2 --shard-index 0 --out s0.json
+    repro-flock run fig2 --preset ci --shards 2 --shard-index 1 --out s1.json
+    repro-flock merge s0.json s1.json --out fig2.json
+
+``merge`` reassembles the full :class:`ExperimentResult`; its metrics
+are bit-identical to a serial ``run`` with the same preset and seed.
+``--shards`` composes with ``--jobs``/``--executor`` (parallelism
+*within* a shard).  ``table1`` cannot be sharded: its calibration step
+chooses parameters from its own evaluation results, so each shard
+would pick a different operating point from partial data.
+
+Cost model: every worker (and the merge) re-runs the experiment driver,
+so trace *generation* is repeated per process - only problem building
+and inference are divided.  Sharding pays off when inference dominates,
+which holds for the accuracy experiments at paper scale; it cannot help
+drivers that evaluate one trace per grid call (``fig4d``), where a
+worker may cover no traces at all (the CLI warns when that happens).
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
+from dataclasses import replace
+from pathlib import Path
 from typing import Callable, Dict, Optional
 
-from .errors import ReproError
+from .errors import ExperimentError, ReproError
 from .eval import experiments
-from .eval.reporting import print_result
+from .eval.reporting import print_result, save_result
 from .eval.runner import EXECUTORS, RunnerConfig
+from .eval.shard import ShardRecorder, ShardReplayer, ShardSpec, merge_payloads
 
 #: Experiment registry: name -> callable(preset, seed) -> ExperimentResult.
 EXPERIMENTS: Dict[str, Callable] = {
@@ -38,11 +64,26 @@ EXPERIMENTS: Dict[str, Callable] = {
     "scan-rate": experiments.scan_rate,
 }
 
+#: Experiments whose grid-call sequence depends on their own evaluation
+#: results; sharding them would let each shard choose different
+#: parameters from partial data (see module docstring).
+UNSHARDABLE = frozenset({"table1"})
+
+
+def shardable_experiments() -> list:
+    """Experiment names that support ``--shards`` / ``merge``."""
+    return sorted(
+        name
+        for name, func in EXPERIMENTS.items()
+        if name not in UNSHARDABLE
+        and "runner" in inspect.signature(func).parameters
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-flock",
-        description="Flock (CoNEXT 2023) reproduction experiment runner",
+        description="Flock (PACMNET 2023) reproduction experiment runner",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -60,6 +101,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=EXECUTORS, default=None,
         help="execution backend; defaults to 'process' when --jobs > 1",
     )
+    run.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="act as one worker of an N-way sharded run "
+             "(requires --shard-index and --out)",
+    )
+    run.add_argument(
+        "--shard-index", type=int, default=None, metavar="I",
+        help="which shard [0, N) this worker executes",
+    )
+    run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="where to write this shard's serialized results",
+    )
+
+    merge = sub.add_parser(
+        "merge", help="merge shard outputs into the full experiment result"
+    )
+    merge.add_argument("shard_files", nargs="+", metavar="SHARD")
+    merge.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the merged ExperimentResult as JSON",
+    )
 
     dataset = sub.add_parser(
         "dataset", help="generate the six-scenario telemetry dataset"
@@ -71,12 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(
+def _call_experiment(
     name: str, preset: str, seed, runner: Optional[RunnerConfig] = None
-) -> None:
-    if name == "fig6":
-        print_result(experiments.fig6_worked_example())
-        return
+):
     func = EXPERIMENTS[name]
     kwargs = {"preset": preset}
     if seed is not None:
@@ -85,13 +145,89 @@ def _run_one(
     # pass one where the driver supports parallel evaluation.
     if runner is not None and "runner" in inspect.signature(func).parameters:
         kwargs["runner"] = runner
-    print_result(func(**kwargs))
+    return func(**kwargs)
+
+
+def _run_one(
+    name: str, preset: str, seed, runner: Optional[RunnerConfig] = None
+) -> None:
+    if name == "fig6":
+        print_result(experiments.fig6_worked_example())
+        return
+    print_result(_call_experiment(name, preset, seed, runner))
 
 
 def _runner_from_args(args) -> Optional[RunnerConfig]:
     if args.jobs is None and args.executor is None:
         return None
     return RunnerConfig.resolve(jobs=args.jobs, executor=args.executor)
+
+
+def _run_shard(args) -> int:
+    """Act as one shard worker: execute our trace ranges, write results."""
+    if args.shard_index is None or args.out is None:
+        raise ExperimentError("--shards requires --shard-index and --out")
+    name = args.experiment
+    if name not in shardable_experiments():
+        raise ExperimentError(
+            f"experiment {name!r} cannot be sharded; shardable experiments: "
+            f"{', '.join(shardable_experiments())}"
+        )
+    spec = ShardSpec(args.shard_index, args.shards)
+    recorder = ShardRecorder(spec)
+    base = _runner_from_args(args) or RunnerConfig()
+    # The returned (partial) result is discarded: only the recorded wire
+    # units matter, and `merge` rebuilds the full result from them.
+    _call_experiment(name, args.preset, args.seed, replace(base, shard=recorder))
+    payload = recorder.payload(
+        experiment=name, preset=args.preset, seed=args.seed
+    )
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w") as handle:
+        json.dump(payload, handle)
+    units = sum(len(call["units"]) for call in payload["calls"])
+    print(
+        f"shard {spec.index + 1}/{spec.count} of {name} ({args.preset}): "
+        f"{units} trace unit(s) over {len(payload['calls'])} grid call(s) "
+        f"-> {out}"
+    )
+    if units == 0:
+        print(
+            f"warning: this shard covered no traces (every grid call in "
+            f"{name} has fewer than {spec.count} traces); it still paid "
+            "full trace-generation cost - use fewer shards",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _merge(args) -> int:
+    """Reassemble a full ExperimentResult from shard files."""
+    payloads = []
+    for path in args.shard_files:
+        try:
+            with Path(path).open() as handle:
+                payloads.append(json.load(handle))
+        except (OSError, ValueError) as exc:
+            # ValueError covers both JSONDecodeError and the
+            # UnicodeDecodeError a transfer-corrupted file raises.
+            raise ExperimentError(f"cannot read shard file {path}: {exc}")
+    calls, meta = merge_payloads(payloads)
+    name = meta.get("experiment")
+    if name not in shardable_experiments():
+        raise ExperimentError(
+            f"shard files name experiment {name!r}, which is unknown or "
+            "not shardable"
+        )
+    replayer = ShardReplayer(calls)
+    runner = RunnerConfig(shard=replayer)
+    result = _call_experiment(name, meta.get("preset", "ci"), meta.get("seed"), runner)
+    replayer.assert_exhausted()
+    print_result(result)
+    if args.out:
+        print(f"\nwrote merged result to {save_result(result, args.out)}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -118,6 +254,12 @@ def _main(argv=None) -> int:
         for name in sorted(EXPERIMENTS) + ["fig6"]:
             print(name)
         return 0
+    if args.command == "merge":
+        return _merge(args)
+    if args.shards is not None:
+        return _run_shard(args)
+    if args.shard_index is not None or args.out is not None:
+        raise ExperimentError("--shard-index/--out are only valid with --shards")
     runner = _runner_from_args(args)
     if args.experiment == "all":
         for name in sorted(EXPERIMENTS) + ["fig6"]:

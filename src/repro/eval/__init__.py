@@ -12,6 +12,21 @@ from .harness import (
     run_on_trace,
 )
 from .runner import EXECUTORS, ProblemCache, RunnerConfig, RunnerStats, run_grid
+from .serialize import (
+    eval_summary_from_wire,
+    eval_summary_to_wire,
+    trace_result_from_wire,
+    trace_result_to_wire,
+)
+from .shard import (
+    ShardRecorder,
+    ShardReplayer,
+    ShardSpec,
+    merge_payloads,
+    merge_shards,
+    run_sharded,
+    shard_bounds,
+)
 from .metrics import (
     AggregateMetrics,
     TraceMetrics,
@@ -39,6 +54,17 @@ __all__ = [
     "RunnerConfig",
     "RunnerStats",
     "run_grid",
+    "ShardSpec",
+    "ShardRecorder",
+    "ShardReplayer",
+    "shard_bounds",
+    "run_sharded",
+    "merge_shards",
+    "merge_payloads",
+    "eval_summary_to_wire",
+    "eval_summary_from_wire",
+    "trace_result_to_wire",
+    "trace_result_from_wire",
     "TraceMetrics",
     "AggregateMetrics",
     "aggregate",

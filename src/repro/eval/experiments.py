@@ -669,6 +669,23 @@ def fig4d_scheme_runtime(
 # ----------------------------------------------------------------------
 
 
+def omit_grid_seeds(seed: int, index: int, span: int = 1000) -> Tuple[int, int]:
+    """(topology-RNG seed, trace base seed) for one omitted-links grid point.
+
+    Derivation is index-based: grid point ``i`` owns the disjoint seed
+    block ``[seed + span*i, seed + span*(i+1))``; traces take the low
+    slots (``base_seed + j``) and the topology RNG the top slot.  No two
+    grid points can collide, and point 0 never collapses both RNGs onto
+    the bare experiment seed.  The earlier fraction-*value* derivation
+    (``seed + int(fraction * 1000)`` / ``seed + int(fraction * 100)``)
+    truncated floats - ``int(0.29 * 100) == 28`` - so seeds shifted or
+    collided as the fraction grid changed, and ``fraction=0.0`` reused
+    the bare seed for both the topology RNG and the trace batch.
+    """
+    block = seed + span * index
+    return block + span - 1, block
+
+
 def fig5_irregular(
     preset: str = "ci",
     seed: int = 31,
@@ -688,13 +705,14 @@ def fig5_irregular(
             "Flock (P) improves as symmetry breaks"
         ),
     )
-    for fraction in fractions:
-        rng = np.random.default_rng(seed + int(fraction * 1000))
+    for i, fraction in enumerate(fractions):
+        topo_seed, base_seed = omit_grid_seeds(seed, i)
+        rng = np.random.default_rng(topo_seed)
         topo, _removed = omit_random_links(base_topo, fraction, rng)
         routing = EcmpRouting(topo)
         scenarios = [SilentLinkDrops(n_failures=1) for _ in range(n_traces)]
         traces = make_trace_batch(
-            topo, routing, scenarios, base_seed=seed + int(fraction * 100),
+            topo, routing, scenarios, base_seed=base_seed,
             n_passive=scale["n_passive"], n_probes=0,
         )
         setups = [
@@ -745,14 +763,15 @@ def fig5c_passive_hard(
         ),
         notes="Paper: >75% recall, >40% precision; theoretical max shown",
     )
-    for fraction in fractions:
-        rng = np.random.default_rng(seed + int(fraction * 1000))
+    for i, fraction in enumerate(fractions):
+        topo_seed, base_seed = omit_grid_seeds(seed, i)
+        rng = np.random.default_rng(topo_seed)
         topo, _removed = omit_random_links(base_topo, fraction, rng)
         routing = EcmpRouting(topo)
         classes = link_equivalence_classes(topo, routing)
         scenarios = [SilentLinkDrops(n_failures=1) for _ in range(n_traces)]
         traces = make_trace_batch(
-            topo, routing, scenarios, base_seed=seed + int(fraction * 100),
+            topo, routing, scenarios, base_seed=base_seed,
             n_passive=scale["n_passive"], n_probes=0,
         )
         summary = evaluate(setup, traces, runner)

@@ -9,6 +9,15 @@
 * "We define precision to be 1 if the algorithm returns the empty
   hypothesis.  For 0 actual failures ... recall is 1 since there are no
   failures to detect."
+
+Device/link credit is symmetric in both directions: a predicted link
+incident to a faulty device is correct for precision (the quote above),
+and a predicted device incident to a faulty link is likewise correct -
+the same adjacency the recall loop already uses when it counts a failed
+link as detected because one of its endpoint devices was predicted.
+Earlier revisions only credited the link->device direction for
+precision, so a scheme that blamed the device next to a failed link was
+scored as recall-right but precision-wrong for the identical claim.
 """
 
 from __future__ import annotations
@@ -68,6 +77,13 @@ def evaluate_prediction(
                 u, v = topology.endpoints(comp)
                 if u in failed_device_nodes or v in failed_device_nodes:
                     correct += 1
+            else:
+                # Symmetric credit: a predicted device whose incident
+                # link failed is correct, mirroring the recall loop
+                # below that counts such a device as detecting the link.
+                node = topology.component_device(comp)
+                if any(link in failed_links for link in topology.device_links(node)):
+                    correct += 1
         precision = correct / len(predicted)
 
     # --- recall -------------------------------------------------------
@@ -111,10 +127,19 @@ class AggregateMetrics:
 
 
 def aggregate(metrics: Sequence[TraceMetrics]) -> AggregateMetrics:
-    """Macro-average per-trace metrics."""
+    """Macro-average per-trace metrics.
+
+    Zero traces carry no accuracy signal, so the aggregate of an empty
+    batch is ``n_traces=0`` with NaN metrics - never the perfect score
+    an earlier revision reported (a sharded merge of empty shards would
+    have claimed precision = recall = 1.0 from no evidence).  Callers
+    that require data, such as the shard merge path, check ``n_traces``
+    and raise :class:`~repro.errors.ExperimentError`.
+    """
     if not metrics:
+        nan = float("nan")
         return AggregateMetrics(
-            precision=1.0, recall=1.0, mean_fscore=1.0, n_traces=0
+            precision=nan, recall=nan, mean_fscore=nan, n_traces=0
         )
     n = len(metrics)
     precision = sum(m.precision for m in metrics) / n

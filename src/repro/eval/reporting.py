@@ -1,14 +1,21 @@
-"""Plain-text rendering of experiment results.
+"""Plain-text rendering and JSON persistence of experiment results.
 
 The benchmark harness prints these tables so ``pytest benchmarks/``
-output can be compared against the paper's figures row by row.
+output can be compared against the paper's figures row by row; the
+JSON helpers let the CLI's shard-merge path write a full
+:class:`ExperimentResult` to disk for downstream tooling.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
+from ..errors import ExperimentError
 from .experiments import ExperimentResult
+
+RESULT_FORMAT = "flock-result-v1"
 
 
 def _format_value(value) -> str:
@@ -55,3 +62,63 @@ def render_result(result: ExperimentResult, columns: Optional[Sequence[str]] = N
 def print_result(result: ExperimentResult, columns: Optional[Sequence[str]] = None) -> None:
     print()
     print(render_result(result, columns))
+
+
+def result_to_dict(result: ExperimentResult) -> Dict:
+    """Serialize an experiment result (rows are already plain dicts)."""
+    return {
+        "format": RESULT_FORMAT,
+        "experiment": result.experiment,
+        "description": result.description,
+        "notes": result.notes,
+        "rows": [dict(row) for row in result.rows],
+    }
+
+
+def result_from_dict(payload: Dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict`.
+
+    Malformed documents (truncated writes, hand edits) raise
+    :class:`~repro.errors.ExperimentError`, matching the wire-codec
+    contract, so CLI consumers report a clean error, not a traceback.
+    """
+    if not isinstance(payload, dict):
+        raise ExperimentError(
+            f"result payload must be an object, got {type(payload).__name__}"
+        )
+    if payload.get("format") != RESULT_FORMAT:
+        raise ExperimentError(
+            f"not a {RESULT_FORMAT} document: format={payload.get('format')!r}"
+        )
+    if "experiment" not in payload:
+        raise ExperimentError(
+            f"{RESULT_FORMAT} document is missing its 'experiment' key"
+        )
+    rows = payload.get("rows", [])
+    if not isinstance(rows, list) or not all(
+        isinstance(row, dict) for row in rows
+    ):
+        raise ExperimentError(
+            f"{RESULT_FORMAT} rows must be a list of objects"
+        )
+    return ExperimentResult(
+        experiment=payload["experiment"],
+        description=payload.get("description", ""),
+        rows=[dict(row) for row in rows],
+        notes=payload.get("notes", ""),
+    )
+
+
+def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write an experiment result to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(result_to_dict(result), handle)
+    return path
+
+
+def load_result(path: Union[str, Path]) -> ExperimentResult:
+    """Read an experiment result from a JSON file."""
+    with Path(path).open() as handle:
+        return result_from_dict(json.load(handle))

@@ -55,11 +55,20 @@ class RunnerConfig:
     count (ignored by the serial executor).  ``cache`` disables the
     per-trace problem cache, which only exists so benchmarks can
     measure the legacy rebuild-per-scheme behaviour.
+
+    ``shard`` selects distributed execution: a
+    :class:`~repro.eval.shard.ShardRecorder` restricts :func:`run_grid`
+    to the shard's contiguous trace-index range and captures each
+    executed unit's results in wire form, while a
+    :class:`~repro.eval.shard.ShardReplayer` skips execution entirely
+    and folds previously recorded results through the same streaming
+    accumulators.  ``None`` (the default) runs everything locally.
     """
 
     executor: str = "serial"
     jobs: int = 1
     cache: bool = True
+    shard: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -212,6 +221,12 @@ def run_grid(
     problem cache effective), so a single-trace grid always runs
     serially: pool overhead would dominate, and per-scheme timing
     experiments (fig4d) stay undistorted by worker contention.
+
+    When ``config.shard`` is set, the grid either executes only its
+    shard's contiguous index range (recording wire-format results for
+    a later merge) or replays recorded results without executing at
+    all; see :mod:`repro.eval.shard`.  Replay builds no problems and
+    runs no traces, so ``stats`` counters stay untouched on that path.
     """
     config = config or RunnerConfig()
     labels = [setup.labeled() for setup in setups]
@@ -225,24 +240,46 @@ def run_grid(
         _SummaryAccumulator(setup, len(traces)) for setup in setups
     ]
 
+    def finish() -> Dict[str, object]:
+        return {
+            label: acc.finish() for label, acc in zip(labels, accumulators)
+        }
+
+    shard = config.shard
+    if shard is not None and shard.is_replay:
+        # Merge path: fold previously recorded wire results through the
+        # same accumulators that serial execution streams into.  Trace
+        # generation already happened in the caller; nothing runs here.
+        for idx, results in shard.replay_call(labels, len(traces)):
+            for acc, result in zip(accumulators, results):
+                acc.add(idx, result)
+        return finish()
+
+    if shard is not None:
+        indices = list(shard.select_call(labels, len(traces)))
+    else:
+        indices = list(range(len(traces)))
+
     def fold(trace_idx: int, outcome) -> None:
         results, built, hits = outcome
+        if shard is not None:
+            shard.record(trace_idx, results)
         for acc, result in zip(accumulators, results):
             acc.add(trace_idx, result)
         if stats is not None:
             stats.merge(built, hits)
 
-    if config.executor == "serial" or len(traces) <= 1:
-        for idx, trace in enumerate(traces):
-            fold(idx, _run_trace_unit(setups, trace, config.cache))
+    if config.executor == "serial" or len(indices) <= 1:
+        for idx in indices:
+            fold(idx, _run_trace_unit(setups, traces[idx], config.cache))
     else:
         keep_problems = config.executor != "process"
         with _make_pool(config) as pool:
             pending: Dict[object, int] = {}
             try:
-                for idx, trace in enumerate(traces):
+                for idx in indices:
                     future = pool.submit(
-                        _run_trace_unit, setups, trace, config.cache,
+                        _run_trace_unit, setups, traces[idx], config.cache,
                         keep_problems,
                     )
                     pending[future] = idx
@@ -257,6 +294,4 @@ def run_grid(
                 for future in pending:
                     future.cancel()
                 raise
-    return {
-        label: acc.finish() for label, acc in zip(labels, accumulators)
-    }
+    return finish()

@@ -1,0 +1,198 @@
+"""Wire codec for evaluation results (the shard layer's vocabulary).
+
+A shard worker runs part of a trace batch in a separate process - or on
+a separate machine - and must return *only* serialized results: compact,
+JSON-compatible structures that rebuild into the exact objects a local
+run would have produced.  This module is that codec.  It covers
+
+* :class:`~repro.eval.metrics.TraceMetrics`  - ``[precision, recall]``
+* :class:`~repro.types.Prediction`           - ``{"c","s","ll","hs"}``
+* :class:`~repro.eval.harness.TraceResult`   - ``{"p","m","b","i"}``
+* :class:`~repro.eval.metrics.AggregateMetrics` and
+  :class:`~repro.eval.harness.EvalSummary`.
+
+Design rules:
+
+* **Bit-identical floats.** Values pass through JSON's ``repr``-based
+  float formatting, which round-trips IEEE-754 doubles exactly, so a
+  merged shard run reproduces a serial run's metrics bit for bit.
+  NumPy scalars are coerced to native Python numbers on encode (their
+  64-bit values are preserved exactly).
+* **``problem`` is dropped.** :class:`TraceResult.problem` never goes
+  on the wire - the process executor already refuses to ship built
+  problems over IPC, and a shard consumer only needs predictions,
+  metrics, and timings.  Decoded results read back ``problem=None``.
+* **Compact keys.** Single-letter keys keep shard files small; each
+  codec function documents its layout.
+
+Every decoder validates the payload shape and raises
+:class:`~repro.errors.ExperimentError` on malformed input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ExperimentError
+from ..types import Prediction
+from .harness import EvalSummary, TraceResult
+from .metrics import AggregateMetrics, TraceMetrics
+
+
+def _require(payload, keys, what: str) -> None:
+    if not isinstance(payload, dict):
+        raise ExperimentError(f"malformed {what} payload: {payload!r}")
+    missing = [key for key in keys if key not in payload]
+    if missing:
+        raise ExperimentError(f"{what} payload is missing keys {missing}")
+
+
+def _number(value, what: str) -> float:
+    """Validate a JSON number (corrupted files must fail here, as an
+    ExperimentError, not deep inside metric aggregation)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ExperimentError(f"{what} must be a number, got {value!r}")
+    return value
+
+
+def _integer(value, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ExperimentError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def trace_metrics_to_wire(metrics: TraceMetrics) -> List[float]:
+    """``TraceMetrics -> [precision, recall]``."""
+    return [float(metrics.precision), float(metrics.recall)]
+
+
+def trace_metrics_from_wire(payload) -> TraceMetrics:
+    if not (isinstance(payload, (list, tuple)) and len(payload) == 2):
+        raise ExperimentError(f"malformed TraceMetrics payload: {payload!r}")
+    return TraceMetrics(
+        precision=_number(payload[0], "precision"),
+        recall=_number(payload[1], "recall"),
+    )
+
+
+def prediction_to_wire(prediction: Prediction) -> Dict:
+    """``Prediction -> {"c": components, "s": scores, "ll": ..., "hs": ...}``.
+
+    ``"c"`` is the sorted component-id list; ``"s"`` is ``None`` or a
+    ``[[component, score], ...]`` pair list (JSON objects only allow
+    string keys, and component ids are ints).
+    """
+    scores = prediction.scores
+    return {
+        "c": sorted(int(c) for c in prediction.components),
+        "s": None if scores is None else [
+            [int(k), float(v)] for k, v in sorted(scores.items())
+        ],
+        "ll": float(prediction.log_likelihood),
+        "hs": int(prediction.hypotheses_scanned),
+    }
+
+
+def prediction_from_wire(payload) -> Prediction:
+    _require(payload, ("c", "s", "ll", "hs"), "Prediction")
+    scores = payload["s"]
+    components = payload["c"]
+    if not isinstance(components, list):
+        raise ExperimentError(f"Prediction components must be a list, got {components!r}")
+    if scores is not None and not isinstance(scores, list):
+        raise ExperimentError(f"Prediction scores must be null or a pair list, got {scores!r}")
+    return Prediction(
+        components=frozenset(_integer(c, "component id") for c in components),
+        scores=None if scores is None else _score_dict(scores),
+        log_likelihood=_number(payload["ll"], "log_likelihood"),
+        hypotheses_scanned=_integer(payload["hs"], "hypotheses_scanned"),
+    )
+
+
+def _score_dict(pairs) -> Dict[int, float]:
+    out: Dict[int, float] = {}
+    for pair in pairs:
+        if not (isinstance(pair, (list, tuple)) and len(pair) == 2):
+            raise ExperimentError(
+                f"Prediction score entries must be [component, score] "
+                f"pairs, got {pair!r}"
+            )
+        out[_integer(pair[0], "score component")] = _number(
+            pair[1], "score value"
+        )
+    return out
+
+
+def trace_result_to_wire(result: TraceResult) -> Dict:
+    """``TraceResult -> {"p": prediction, "m": metrics, "b": ..., "i": ...}``.
+
+    ``result.problem`` is intentionally dropped (see module docstring).
+    """
+    return {
+        "p": prediction_to_wire(result.prediction),
+        "m": trace_metrics_to_wire(result.metrics),
+        "b": float(result.build_seconds),
+        "i": float(result.inference_seconds),
+    }
+
+
+def trace_result_from_wire(payload) -> TraceResult:
+    _require(payload, ("p", "m", "b", "i"), "TraceResult")
+    return TraceResult(
+        prediction=prediction_from_wire(payload["p"]),
+        metrics=trace_metrics_from_wire(payload["m"]),
+        build_seconds=_number(payload["b"], "build_seconds"),
+        inference_seconds=_number(payload["i"], "inference_seconds"),
+        problem=None,
+    )
+
+
+def aggregate_metrics_to_wire(accuracy: AggregateMetrics) -> List:
+    """``AggregateMetrics -> [precision, recall, mean_fscore, n_traces]``."""
+    return [
+        float(accuracy.precision),
+        float(accuracy.recall),
+        float(accuracy.mean_fscore),
+        int(accuracy.n_traces),
+    ]
+
+
+def aggregate_metrics_from_wire(payload) -> AggregateMetrics:
+    if not (isinstance(payload, (list, tuple)) and len(payload) == 4):
+        raise ExperimentError(f"malformed AggregateMetrics payload: {payload!r}")
+    return AggregateMetrics(
+        precision=_number(payload[0], "precision"),
+        recall=_number(payload[1], "recall"),
+        mean_fscore=_number(payload[2], "mean_fscore"),
+        n_traces=_integer(payload[3], "n_traces"),
+    )
+
+
+def eval_summary_to_wire(summary: EvalSummary) -> Dict:
+    """``EvalSummary -> {"label", "t": per-trace, "a": accuracy, ...}``."""
+    return {
+        "label": summary.setup_label,
+        "t": [trace_result_to_wire(r) for r in summary.per_trace],
+        "a": aggregate_metrics_to_wire(summary.accuracy),
+        "mi": float(summary.mean_inference_seconds),
+        "mb": float(summary.mean_build_seconds),
+    }
+
+
+def eval_summary_from_wire(payload) -> EvalSummary:
+    _require(payload, ("label", "t", "a", "mi", "mb"), "EvalSummary")
+    if not isinstance(payload["label"], str):
+        raise ExperimentError(
+            f"EvalSummary label must be a string, got {payload['label']!r}"
+        )
+    if not isinstance(payload["t"], list):
+        raise ExperimentError(
+            f"EvalSummary per-trace field must be a list, got {payload['t']!r}"
+        )
+    return EvalSummary(
+        setup_label=payload["label"],
+        per_trace=[trace_result_from_wire(r) for r in payload["t"]],
+        accuracy=aggregate_metrics_from_wire(payload["a"]),
+        mean_inference_seconds=_number(payload["mi"], "mean_inference_seconds"),
+        mean_build_seconds=_number(payload["mb"], "mean_build_seconds"),
+    )

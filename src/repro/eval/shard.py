@@ -1,0 +1,368 @@
+"""Shard a trace batch across workers, processes, or machines.
+
+A *shard* is a contiguous range of trace indices.  Each shard executes
+its range through the unchanged :func:`~repro.eval.runner.run_grid`
+machinery and keeps only wire-format results (the
+:mod:`repro.eval.serialize` codec; ``TraceResult.problem`` never goes on
+the wire).  A merge then replays every shard's recorded units through
+the same streaming ``_SummaryAccumulator`` fold that merges per-trace
+units in a local run, so serial, sharded-in-process, and
+sharded-subprocess executions produce bit-identical
+:class:`~repro.eval.harness.EvalSummary` metrics for fixed seeds - in
+any shard count and any shard completion order.
+
+Three layers:
+
+* **Splitting** - :func:`shard_bounds` / :class:`ShardSpec` compute the
+  balanced contiguous index ranges.
+* **Grid hooks** - :class:`ShardRecorder` (execute my range, record
+  wire units per grid call) and :class:`ShardReplayer` (execute
+  nothing, fold recorded units), installed via ``RunnerConfig.shard``.
+  Recording is call-indexed, so a whole *experiment* - any number of
+  sequential ``run_grid`` invocations - can be sharded, not just one
+  grid: the merge re-runs the experiment driver with a replayer and
+  every grid call picks up its merged results in order.
+* **Drivers** - :func:`run_sharded` executes one grid's shards locally
+  (optionally each shard in its own OS process) and merges;
+  :func:`merge_payloads` validates and combines shard files produced by
+  distributed workers (e.g. ``repro-flock run ... --shards N
+  --shard-index I``).
+
+Sharding assumes the experiment's sequence of grid calls does not
+depend on evaluation results.  Every figure experiment satisfies this;
+``table1`` does not (each shard would calibrate on partial data and
+pick its own operating point), so the CLI refuses to shard it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from .runner import RunnerConfig, run_grid
+from .serialize import trace_result_from_wire, trace_result_to_wire
+
+SHARD_FORMAT = "flock-shard-v1"
+
+#: Payload metadata keys that must agree across merged shard files.
+_META_KEYS = ("experiment", "preset", "seed")
+
+
+def shard_bounds(n_items: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Balanced contiguous ``[start, stop)`` ranges covering ``n_items``.
+
+    The first ``n_items % n_shards`` shards take one extra item; with
+    more shards than items the tail shards are empty (a valid, if
+    wasteful, configuration).
+    """
+    if n_shards < 1:
+        raise ExperimentError(f"n_shards must be >= 1, got {n_shards}")
+    if n_items < 0:
+        raise ExperimentError(f"n_items must be >= 0, got {n_items}")
+    base, extra = divmod(n_items, n_shards)
+    bounds = []
+    start = 0
+    for i in range(n_shards):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Which contiguous slice of a batch this worker owns: ``index`` of
+    ``count`` total shards."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ExperimentError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ExperimentError(
+                f"shard index must be in [0, {self.count}), got {self.index}"
+            )
+
+    def bounds(self, n_items: int) -> Tuple[int, int]:
+        """This shard's ``[start, stop)`` range over ``n_items``."""
+        return shard_bounds(n_items, self.count)[self.index]
+
+
+class ShardRecorder:
+    """``RunnerConfig.shard`` hook for a shard *worker*.
+
+    Each ``run_grid`` call executes only this shard's index range and
+    records every executed unit's per-setup results in wire form,
+    grouped per call so a replayer can line them back up with the same
+    call sequence.
+    """
+
+    is_replay = False
+
+    def __init__(self, spec: ShardSpec):
+        self.spec = spec
+        self.calls: List[Dict] = []
+
+    def select_call(self, labels: Sequence[str], n_traces: int) -> range:
+        """Open a new grid-call record; return the indices to execute."""
+        self.calls.append(
+            {"labels": list(labels), "n_traces": n_traces, "units": []}
+        )
+        start, stop = self.spec.bounds(n_traces)
+        return range(start, stop)
+
+    def record(self, trace_idx: int, results: Sequence) -> None:
+        """Serialize one executed unit into the open call record."""
+        self.calls[-1]["units"].append(
+            [trace_idx, [trace_result_to_wire(r) for r in results]]
+        )
+
+    def payload(self, **meta) -> Dict:
+        """The shard's complete output as a JSON-compatible document."""
+        return {
+            "format": SHARD_FORMAT,
+            "shard_index": self.spec.index,
+            "n_shards": self.spec.count,
+            "calls": self.calls,
+            **meta,
+        }
+
+
+class ShardReplayer:
+    """``RunnerConfig.shard`` hook for the *merge*.
+
+    Feeds merged recorded units back into ``run_grid`` call by call;
+    nothing is executed.  Each replayed call is validated against the
+    live grid's shape (setup labels and trace count) so a shard file
+    from a different experiment, preset, or seed cannot be merged
+    silently.
+    """
+
+    is_replay = True
+
+    def __init__(self, calls: Sequence[Dict]):
+        self._calls = list(calls)
+        self._cursor = 0
+
+    def replay_call(self, labels: Sequence[str], n_traces: int):
+        """Results for the next grid call: ``[(trace_idx, [TraceResult])]``."""
+        if self._cursor >= len(self._calls):
+            raise ExperimentError(
+                "shard replay exhausted: the experiment issued more grid "
+                "calls than the shard files recorded"
+            )
+        call = self._calls[self._cursor]
+        self._cursor += 1
+        if call["labels"] != list(labels) or call["n_traces"] != n_traces:
+            raise ExperimentError(
+                f"shard replay mismatch at call {self._cursor - 1}: recorded "
+                f"({call['labels']}, {call['n_traces']} traces) vs live "
+                f"({list(labels)}, {n_traces} traces)"
+            )
+        return [
+            (idx, [trace_result_from_wire(w) for w in wires])
+            for idx, wires in call["units"]
+        ]
+
+    def assert_exhausted(self) -> None:
+        """Require that every recorded grid call was replayed.
+
+        A driver that issues fewer grid calls than the shards recorded
+        (e.g. the experiment was edited between recording and merging)
+        would otherwise silently drop the tail calls and report a
+        complete-looking but partial result.
+        """
+        if self._cursor != len(self._calls):
+            raise ExperimentError(
+                f"shard replay incomplete: the shard files recorded "
+                f"{len(self._calls)} grid call(s) but only {self._cursor} "
+                "were replayed; the experiment driver no longer matches "
+                "the one the shards ran"
+            )
+
+
+def _validate_payload_shape(payload) -> None:
+    """Structural validation of one shard document.
+
+    Shard files come from other machines; a truncated write or hand
+    edit must surface as :class:`ExperimentError`, never as a raw
+    ``TypeError``/``KeyError`` from deep inside the merge.
+    """
+    if not isinstance(payload, dict):
+        raise ExperimentError(
+            f"shard payload must be an object, got {type(payload).__name__}"
+        )
+    if payload.get("format") != SHARD_FORMAT:
+        raise ExperimentError(
+            f"not a {SHARD_FORMAT} document: format={payload.get('format')!r}"
+        )
+    if not isinstance(payload.get("shard_index"), int):
+        raise ExperimentError(
+            f"shard file has invalid shard_index: {payload.get('shard_index')!r}"
+        )
+    calls = payload.get("calls")
+    if not isinstance(calls, list):
+        raise ExperimentError(f"shard file has invalid calls: {calls!r}")
+    for call in calls:
+        if not (
+            isinstance(call, dict)
+            and isinstance(call.get("labels"), list)
+            and isinstance(call.get("n_traces"), int)
+            and isinstance(call.get("units"), list)
+            and all(
+                isinstance(unit, (list, tuple)) and len(unit) == 2
+                and isinstance(unit[0], int) and isinstance(unit[1], list)
+                for unit in call["units"]
+            )
+        ):
+            raise ExperimentError(
+                "shard file has a malformed grid-call record "
+                "(expected {labels, n_traces, units: [[idx, results], ...]})"
+            )
+
+
+def merge_payloads(payloads: Sequence[Dict]) -> Tuple[List[Dict], Dict]:
+    """Validate shard payloads and merge them into replayable calls.
+
+    Returns ``(calls, meta)``: the merged per-call unit lists (each
+    call's units sorted by trace index), and the shared metadata of the
+    shard set.  Raises :class:`ExperimentError` unless the payloads
+    form exactly one complete shard set - same metadata, every shard
+    index 0..N-1 present once, every call's indices covering its trace
+    range exactly - and the merged experiment evaluated at least one
+    trace (a merge of only-empty shards must fail loudly, not report a
+    vacuous score).
+
+    Payload order does not matter: merging is keyed by trace index, so
+    shards can complete and be merged in any order.
+    """
+    if not payloads:
+        raise ExperimentError("no shard payloads to merge")
+    for payload in payloads:
+        _validate_payload_shape(payload)
+    first = payloads[0]
+    n_shards = first.get("n_shards")
+    if not isinstance(n_shards, int) or n_shards < 1:
+        raise ExperimentError(f"invalid n_shards in shard file: {n_shards!r}")
+    meta = {key: first.get(key) for key in _META_KEYS if key in first}
+    for payload in payloads:
+        if payload.get("n_shards") != n_shards:
+            raise ExperimentError(
+                f"shard files disagree on n_shards: {n_shards} vs "
+                f"{payload.get('n_shards')}"
+            )
+        for key in _META_KEYS:
+            if payload.get(key) != first.get(key):
+                raise ExperimentError(
+                    f"shard files disagree on {key!r}: "
+                    f"{first.get(key)!r} vs {payload.get(key)!r}"
+                )
+    indices = sorted(payload.get("shard_index") for payload in payloads)
+    if indices != list(range(n_shards)):
+        raise ExperimentError(
+            f"incomplete or duplicated shard set: expected indices "
+            f"{list(range(n_shards))}, got {indices}"
+        )
+    n_calls = {len(payload["calls"]) for payload in payloads}
+    if len(n_calls) != 1:
+        raise ExperimentError(
+            f"shard files recorded different grid-call counts: {sorted(n_calls)}"
+        )
+
+    merged: List[Dict] = []
+    total_units = 0
+    for call_idx in range(n_calls.pop()):
+        calls = [payload["calls"][call_idx] for payload in payloads]
+        labels, n_traces = calls[0]["labels"], calls[0]["n_traces"]
+        for call in calls:
+            if call["labels"] != labels or call["n_traces"] != n_traces:
+                raise ExperimentError(
+                    f"shard files disagree on the shape of grid call {call_idx}"
+                )
+        units = sorted(
+            (unit for call in calls for unit in call["units"]),
+            key=lambda unit: unit[0],
+        )
+        covered = [unit[0] for unit in units]
+        if covered != list(range(n_traces)):
+            raise ExperimentError(
+                f"grid call {call_idx} has incomplete shard coverage: "
+                f"expected traces 0..{n_traces - 1}, got {covered}"
+            )
+        total_units += len(units)
+        merged.append({"labels": labels, "n_traces": n_traces, "units": units})
+    if merged and total_units == 0:
+        raise ExperimentError(
+            "merged shards contain no evaluated traces; refusing to report "
+            "metrics computed from zero traces"
+        )
+    return merged, meta
+
+
+def _run_shard_payload(setups, traces, spec: ShardSpec, config: RunnerConfig):
+    """Execute one shard and return its wire payload (pool-friendly)."""
+    recorder = ShardRecorder(spec)
+    run_grid(setups, traces, replace(config, shard=recorder))
+    return recorder.payload()
+
+
+def run_sharded(
+    setups: Sequence,
+    traces: Sequence,
+    n_shards: int,
+    config: Optional[RunnerConfig] = None,
+    shard_jobs: int = 1,
+) -> Dict[str, object]:
+    """Evaluate a grid by splitting its traces into ``n_shards`` shards.
+
+    Each shard runs through :func:`run_grid` under ``config`` (executor,
+    jobs, cache all apply *within* a shard); ``shard_jobs > 1``
+    additionally runs shards concurrently, each in its own OS process,
+    with only serialized results crossing back.  The merged summaries
+    are bit-identical to ``run_grid(setups, traces, config)``.
+    """
+    config = config or RunnerConfig()
+    if config.shard is not None:
+        raise ExperimentError("run_sharded cannot nest inside another shard")
+    specs = [ShardSpec(i, n_shards) for i in range(n_shards)]
+    if shard_jobs > 1 and n_shards > 1:
+        with ProcessPoolExecutor(max_workers=min(shard_jobs, n_shards)) as pool:
+            payloads = list(
+                pool.map(
+                    _run_shard_payload,
+                    [setups] * n_shards,
+                    [traces] * n_shards,
+                    specs,
+                    [config] * n_shards,
+                )
+            )
+    else:
+        payloads = [
+            _run_shard_payload(setups, traces, spec, config) for spec in specs
+        ]
+    return merge_shards(setups, traces, payloads, config)
+
+
+def merge_shards(
+    setups: Sequence,
+    traces: Sequence,
+    payloads: Sequence[Dict],
+    config: Optional[RunnerConfig] = None,
+) -> Dict[str, object]:
+    """Merge one grid's shard payloads into full ``EvalSummary`` objects.
+
+    The fold is the runner's own streaming accumulator, driven in
+    replay mode, so the merge is exactly the code path a serial run
+    aggregates through.
+    """
+    calls, _meta = merge_payloads(payloads)
+    replayer = ShardReplayer(calls)
+    summaries = run_grid(
+        setups, traces, replace(config or RunnerConfig(), shard=replayer)
+    )
+    replayer.assert_exhausted()
+    return summaries

@@ -1,5 +1,7 @@
 """Tests for the Appendix A.1 precision/recall definitions."""
 
+import math
+
 import pytest
 
 from repro.eval.metrics import (
@@ -53,9 +55,19 @@ class TestLinkFailures:
         m = evaluate_prediction(
             predict(topo.device_component(u)), truth, topo
         )
+        # Blaming an endpoint device of the failed link is credited in
+        # both directions, mirroring the link-of-faulty-device rule.
         assert m.recall == 1.0
-        # The device itself did not fail: precision suffers.
+        assert m.precision == 1.0
+
+    def test_predicted_unrelated_device_is_wrong(self, topo):
+        host_link = topo.device_links(topo.hosts[0])[0]
+        truth = GroundTruth(failed_links=frozenset({host_link}))
+        # A core switch is not incident to a host's access link.
+        far_device = topo.device_component(topo.cores[0])
+        m = evaluate_prediction(predict(far_device), truth, topo)
         assert m.precision == 0.0
+        assert m.recall == 0.0
 
 
 class TestNoFailures:
@@ -99,6 +111,41 @@ class TestDeviceFailures:
         assert m.recall == pytest.approx(0.5)
 
 
+class TestDeviceLinkSymmetry:
+    """Device/link adjacency credit must be the same in both directions
+    and in both metrics (the old code credited a predicted link of a
+    failed device, but not a predicted device of a failed link)."""
+
+    def test_both_directions_score_identically(self, topo):
+        link = topo.switch_switch_links()[0]
+        u, _ = topo.endpoints(link)
+        device = topo.device_component(u)
+
+        link_failed = GroundTruth(failed_links=frozenset({link}))
+        device_predicted = evaluate_prediction(
+            predict(device), link_failed, topo
+        )
+
+        device_failed = GroundTruth(failed_devices=frozenset({device}))
+        link_predicted = evaluate_prediction(
+            predict(link), device_failed, topo
+        )
+
+        assert device_predicted.precision == 1.0
+        assert link_predicted.precision == 1.0
+        assert device_predicted.recall == 1.0
+
+    def test_precision_and_recall_agree_on_adjacency(self, topo):
+        """If the recall loop counts a predicted device as detecting a
+        failed link, precision must not call the same device wrong."""
+        link = topo.switch_switch_links()[0]
+        u, _ = topo.endpoints(link)
+        device = topo.device_component(u)
+        truth = GroundTruth(failed_links=frozenset({link}))
+        m = evaluate_prediction(predict(device), truth, topo)
+        assert (m.recall > 0) == (m.precision > 0)
+
+
 class TestAggregation:
     def test_fscore(self):
         assert fscore(1.0, 1.0) == 1.0
@@ -116,9 +163,15 @@ class TestAggregation:
         assert agg.n_traces == 2
         assert agg.fscore == pytest.approx(0.75)
 
-    def test_aggregate_empty(self):
+    def test_aggregate_empty_is_nan_not_perfect(self):
+        # Zero traces must not report a perfect score (a merge of empty
+        # shards would otherwise claim precision = recall = 1.0).
         agg = aggregate([])
-        assert agg.precision == 1.0 and agg.n_traces == 0
+        assert agg.n_traces == 0
+        assert math.isnan(agg.precision)
+        assert math.isnan(agg.recall)
+        assert math.isnan(agg.mean_fscore)
+        assert math.isnan(agg.fscore)
 
     def test_error_reduction(self):
         # Baseline fscore 0.8 (error 0.2) vs Flock 0.95 (error 0.05): 4x.

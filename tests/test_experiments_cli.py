@@ -2,15 +2,23 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import EXPERIMENTS, build_parser, main, shardable_experiments
 from repro.errors import ExperimentError
 from repro.eval.experiments import (
     ExperimentResult,
     fig6_worked_example,
+    omit_grid_seeds,
     standard_scheme_suite,
     standard_topology,
 )
-from repro.eval.reporting import format_table, render_result
+from repro.eval.reporting import (
+    format_table,
+    load_result,
+    render_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
 
 
 class TestFig6:
@@ -36,6 +44,22 @@ class TestExperimentPlumbing:
         assert "Flock (A1+A2+P)" in labels
         assert "NetBouncer (INT)" in labels
         assert "007 (A2)" in labels
+
+    def test_omit_grid_seeds_are_index_based(self):
+        # The old float-value derivation truncated (int(0.29*100) == 28)
+        # and collapsed fraction 0.0 onto the bare experiment seed for
+        # both the topology RNG and the trace batch.
+        seed = 31
+        pairs = [omit_grid_seeds(seed, i) for i in range(8)]
+        all_seeds = [s for pair in pairs for s in pair]
+        assert len(set(all_seeds)) == len(all_seeds)
+        topo0, base0 = pairs[0]
+        assert topo0 != seed  # fraction 0.0 no longer reuses the bare seed
+        assert base0 == seed  # trace seeds still anchored at the base
+        for (topo_seed, base_seed), (_, next_base) in zip(pairs, pairs[1:]):
+            # Each grid point owns a disjoint block: trace seeds
+            # (base..base+n) and the topology seed stay inside it.
+            assert base_seed < topo_seed < next_base
 
     def test_result_series_filter(self):
         result = ExperimentResult(
@@ -63,11 +87,50 @@ class TestReporting:
         text = render_result(result)
         assert "demo" in text and "paper says so" in text
 
+    def test_result_json_round_trip(self, tmp_path):
+        result = ExperimentResult(
+            experiment="demo", description="d",
+            rows=[{"scheme": "Flock (A2)", "fscore": 1 / 3}],
+            notes="n",
+        )
+        back = result_from_dict(result_to_dict(result))
+        assert back == result
+        path = save_result(result, tmp_path / "r.json")
+        assert load_result(path) == result
+
+    def test_result_json_rejects_wrong_format(self):
+        with pytest.raises(ExperimentError):
+            result_from_dict({"format": "nope"})
+
+    def test_result_json_rejects_missing_experiment(self):
+        with pytest.raises(ExperimentError, match="missing its 'experiment'"):
+            result_from_dict({"format": "flock-result-v1"})
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [1, 2],
+            {"format": "flock-result-v1", "experiment": "x", "rows": [3]},
+            {"format": "flock-result-v1", "experiment": "x", "rows": "oops"},
+        ],
+    )
+    def test_result_json_rejects_malformed_structure(self, payload):
+        with pytest.raises(ExperimentError):
+            result_from_dict(payload)
+
 
 class TestCli:
     def test_registry_covers_figures(self):
         for name in ("fig2", "fig3", "fig4a", "fig4c", "fig5", "table1"):
             assert name in EXPERIMENTS
+
+    def test_shardable_experiments(self):
+        shardable = shardable_experiments()
+        assert "fig2" in shardable and "fig5" in shardable
+        # table1's calibration depends on its own results; fig4c and
+        # scan-rate are pure timing drivers with no runner parameter.
+        for name in ("table1", "fig4c", "scan-rate"):
+            assert name not in shardable
 
     def test_list_command(self, capsys):
         assert main(["list"]) == 0
