@@ -5,6 +5,7 @@ same input telemetry; every scheme's runtime grows with scale.
 """
 
 from repro.eval.experiments import fig4d_scheme_runtime
+from repro.eval.schemes import get_scheme, make_setup
 
 from _common import run_once
 
@@ -17,13 +18,25 @@ def _times(result, scheme):
     }
 
 
+def _label(scheme, spec=None):
+    """Row label for a registry scheme, built from the registry itself."""
+    return make_setup(scheme, spec=spec).labeled()
+
+
 def test_fig4d_scheme_runtime(benchmark, show):
     result = run_once(benchmark, fig4d_scheme_runtime, preset="ci", seed=29)
     show(result, columns=["servers", "k", "scheme", "seconds"])
 
-    flock_int = _times(result, "Flock (INT)")
-    nb_int = _times(result, "NetBouncer (INT)")
-    v007 = _times(result, "007 (A2)")
+    # Every row label must resolve through the scheme registry: the
+    # display name is "<display> (<spec>)" for some registered scheme.
+    displays = {get_scheme(name).display for name in ("flock", "netbouncer", "007")}
+    for row in result.rows:
+        display = row["scheme"].rsplit(" (", 1)[0]
+        assert display in displays, row["scheme"]
+
+    flock_int = _times(result, _label("flock", "INT"))
+    nb_int = _times(result, _label("netbouncer", "INT"))
+    v007 = _times(result, _label("007"))
     largest = max(flock_int)
 
     # Flock beats NetBouncer on the same (INT) input telemetry.

@@ -3,15 +3,17 @@
 These are the work units whose asymptotics section 4.1 analyzes:
 Δ-array construction (O(n + mT)), a JLE flip (O(DT)), a direct
 hypothesis evaluation (Sherlock's unit), and a full greedy run.  They
-also pin the vectorized engine's advantage over the reference engine.
+also pin the vectorized engine's advantage over the reference engine,
+and time every scheme in the registry end to end so a newly registered
+scheme is benchmarked automatically.
 """
 
 import pytest
 
-from repro.core.flock import FlockInference
 from repro.core.flock_fast import VectorArrays, VectorJleState
 from repro.core.jle import JleState
 from repro.core.params import DEFAULT_PER_PACKET
+from repro.eval.schemes import build_localizer, scheme_names
 
 
 @pytest.fixture(scope="module")
@@ -48,13 +50,17 @@ def test_hypothesis_ll_unit(benchmark, problem):
     assert isinstance(value, float)
 
 
-def test_full_greedy_fast(benchmark, problem):
-    localizer = FlockInference(DEFAULT_PER_PACKET, engine="fast")
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_full_greedy(benchmark, problem, engine):
+    localizer = build_localizer("flock", engine=engine)
     pred = benchmark(localizer.localize, problem)
     assert pred.components
 
 
-def test_full_greedy_reference(benchmark, problem):
-    localizer = FlockInference(DEFAULT_PER_PACKET, engine="reference")
+@pytest.mark.parametrize("scheme", scheme_names())
+def test_registry_scheme_localize(benchmark, problem, scheme):
+    """End-to-end localize cost of every registered scheme, on the
+    same problem, labeled by its registry name."""
+    localizer = build_localizer(scheme)
     pred = benchmark(localizer.localize, problem)
-    assert pred.components
+    assert pred is not None

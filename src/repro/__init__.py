@@ -42,17 +42,25 @@ from .core import (
 )
 from .errors import ReproError
 from .eval import (
+    ExperimentResult,
+    ExperimentSpec,
     RunnerConfig,
     SchemeSetup,
     ShardSpec,
     Trace,
+    build_localizer,
     evaluate,
     evaluate_many,
     evaluate_prediction,
+    experiment_names,
     fscore,
+    make_setup,
     make_trace,
+    run_experiment,
     run_on_trace,
     run_sharded,
+    run_spec,
+    scheme_names,
 )
 from .routing import EcmpRouting
 from .simulation import (
@@ -136,6 +144,15 @@ __all__ = [
     "evaluate_many",
     "evaluate_prediction",
     "fscore",
+    # registries + specs
+    "ExperimentResult",
+    "ExperimentSpec",
+    "run_experiment",
+    "run_spec",
+    "experiment_names",
+    "scheme_names",
+    "build_localizer",
+    "make_setup",
     # types
     "FlowRecord",
     "FlowObservation",

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..errors import InferenceError
 from ..types import Prediction
+from ..core.flock_fast import VectorArrays, VectorJleState
 from ..core.jle import JleState
 from ..core.model import LikelihoodModel
 from ..core.params import DEFAULT_PER_PACKET, FlockParams
@@ -96,8 +97,6 @@ class SherlockFerret:
         self, problem: InferenceProblem, candidates: Tuple[int, ...]
     ) -> Prediction:
         if self._engine == "fast":
-            from ..core.flock_fast import VectorArrays
-
             arrays = VectorArrays(problem, self._params)
             price = arrays.hypothesis_ll
         else:
@@ -126,8 +125,6 @@ class SherlockFerret:
         self, problem: InferenceProblem, candidates: Tuple[int, ...]
     ) -> Prediction:
         if self._engine == "fast":
-            from ..core.flock_fast import VectorJleState
-
             state = VectorJleState(problem, self._params)
         else:
             state = JleState(problem, self._params)

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.params import FlockParams
-
 #: Flock grid, matching the ranges of the paper's sensitivity study
 #: (Fig. 8a sweeps pg in [1e-4, 7e-4] and pb in [2e-3, 1e-2]).
 FLOCK_GRID = {
@@ -46,26 +44,27 @@ FLOCK_PER_FLOW_GRID = {
 
 
 def flock_factory(pg: float, pb: float, rho: float, **kwargs):
-    """Grid-search factory for Flock."""
-    from ..core.flock import FlockInference
+    """Grid-search factory for Flock (via the scheme registry)."""
+    from ..eval.schemes import build_localizer
 
-    return FlockInference(FlockParams(pg=pg, pb=pb, rho=rho), **kwargs)
+    return build_localizer("flock", pg=pg, pb=pb, rho=rho, **kwargs)
 
 
 def vote007_factory(threshold: float):
-    """Grid-search factory for 007."""
-    from ..baselines.b007 import Vote007
+    """Grid-search factory for 007 (via the scheme registry)."""
+    from ..eval.schemes import build_localizer
 
-    return Vote007(threshold=threshold)
+    return build_localizer("007", threshold=threshold)
 
 
 def netbouncer_factory(
     regularization: float, drop_threshold: float, device_frac: float
 ):
-    """Grid-search factory for NetBouncer."""
-    from ..baselines.netbouncer import NetBouncer
+    """Grid-search factory for NetBouncer (via the scheme registry)."""
+    from ..eval.schemes import build_localizer
 
-    return NetBouncer(
+    return build_localizer(
+        "netbouncer",
         regularization=regularization,
         drop_threshold=drop_threshold,
         device_frac=device_frac,

@@ -3,10 +3,19 @@
 Examples::
 
     repro-flock list
+    repro-flock list --schemes --scenarios
     repro-flock run fig2 --preset ci
     repro-flock run fig2 --preset ci --jobs 4
+    repro-flock run fig2 --scheme flock --set n_traces=4
     repro-flock run fig4c --preset paper --seed 3
     repro-flock run all --preset ci --jobs 8 --executor process
+
+Experiments, schemes, and failure scenarios all resolve through
+registries (:mod:`repro.eval.spec`, :mod:`repro.eval.schemes`,
+:mod:`repro.simulation.failures`); ``list`` enumerates them.  ``run``
+accepts ``--scheme NAME`` to evaluate a single registry scheme on an
+experiment's workload and repeatable ``--set key=val`` overrides that
+are passed to the experiment's spec builder (unknown keys fail loudly).
 
 Distributed (sharded) evaluation splits an experiment's trace batches
 into contiguous index ranges so each range can run as a separate OS
@@ -17,67 +26,48 @@ process or on a separate machine, returning only serialized results::
     repro-flock merge s0.json s1.json --out fig2.json
 
 ``merge`` reassembles the full :class:`ExperimentResult`; its metrics
-are bit-identical to a serial ``run`` with the same preset and seed.
-``--shards`` composes with ``--jobs``/``--executor`` (parallelism
-*within* a shard).  ``table1`` cannot be sharded: its calibration step
-chooses parameters from its own evaluation results, so each shard
-would pick a different operating point from partial data.
+are bit-identical to a serial ``run`` with the same preset, seed, and
+overrides.  ``--shards`` composes with ``--jobs``/``--executor``
+(parallelism *within* a shard).  ``table1`` runs as two phases:
+``table1-calibrate`` sweeps the parameter grid (itself shardable), and
+``table1-eval`` - pointed at the calibrate result via
+``--set calibration=PATH``, or recomputing it per worker otherwise -
+evaluates the chosen operating points and shard-merges bit-identically.
+The combined ``table1`` experiment refuses ``--shards`` because its
+build-time calibration dominates and would be repeated per worker.
 
-Cost model: every worker (and the merge) re-runs the experiment driver,
-so trace *generation* is repeated per process - only problem building
-and inference are divided.  Sharding pays off when inference dominates,
-which holds for the accuracy experiments at paper scale; it cannot help
-drivers that evaluate one trace per grid call (``fig4d``), where a
-worker may cover no traces at all (the CLI warns when that happens).
+Cost model: every worker (and the merge) re-runs the experiment's spec
+builder and trace generation - only problem building and inference are
+divided.  Sharding pays off when inference dominates, which holds for
+the accuracy experiments at paper scale; it cannot help experiments
+that evaluate one trace per grid call (``fig4d``), where a worker may
+cover no traces at all (the CLI warns when that happens).
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
+import ast
 import json
 import sys
 from dataclasses import replace
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Dict, List, Optional
 
 from .errors import ExperimentError, ReproError
 from .eval import experiments
 from .eval.reporting import print_result, save_result
 from .eval.runner import EXECUTORS, RunnerConfig
+from .eval.schemes import get_scheme, scheme_names
 from .eval.shard import ShardRecorder, ShardReplayer, ShardSpec, merge_payloads
-
-#: Experiment registry: name -> callable(preset, seed) -> ExperimentResult.
-EXPERIMENTS: Dict[str, Callable] = {
-    "fig2": experiments.fig2_tradeoff,
-    "fig2c": experiments.fig2c_device_failures,
-    "fig3": experiments.fig3_snr,
-    "fig4a": experiments.fig4a_queue_misconfig,
-    "fig4b": experiments.fig4b_link_flap,
-    "fig4c": experiments.fig4c_runtime,
-    "fig4d": experiments.fig4d_scheme_runtime,
-    "fig5": experiments.fig5_irregular,
-    "fig5c": experiments.fig5c_passive_hard,
-    "table1": experiments.table1_robustness,
-    "fig8a": experiments.fig8a_sensitivity,
-    "fig8b": experiments.fig8b_priors,
-    "scan-rate": experiments.scan_rate,
-}
-
-#: Experiments whose grid-call sequence depends on their own evaluation
-#: results; sharding them would let each shard choose different
-#: parameters from partial data (see module docstring).
-UNSHARDABLE = frozenset({"table1"})
-
-
-def shardable_experiments() -> list:
-    """Experiment names that support ``--shards`` / ``merge``."""
-    return sorted(
-        name
-        for name, func in EXPERIMENTS.items()
-        if name not in UNSHARDABLE
-        and "runner" in inspect.signature(func).parameters
-    )
+from .eval.spec import (
+    default_experiment_names,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+    shardable_experiment_names,
+)
+from .simulation.failures import scenario_description, scenario_names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,12 +77,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments")
+    lister = sub.add_parser(
+        "list", help="list registered experiments, schemes, and scenarios"
+    )
+    lister.add_argument(
+        "--experiments", action="store_true", help="list experiments"
+    )
+    lister.add_argument("--schemes", action="store_true", help="list schemes")
+    lister.add_argument(
+        "--scenarios", action="store_true", help="list failure scenarios"
+    )
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all", "fig6"])
+    run.add_argument(
+        "experiment",
+        help="a registered experiment name (see 'list'), or 'all'",
+    )
     run.add_argument("--preset", choices=experiments.PRESETS, default="ci")
     run.add_argument("--seed", type=int, default=None)
+    run.add_argument(
+        "--scheme", default=None, metavar="NAME",
+        help="evaluate only this registry scheme on the experiment's workload",
+    )
+    run.add_argument(
+        "--set", action="append", dest="overrides", default=[],
+        metavar="KEY=VAL",
+        help="override a spec-builder knob (repeatable); unknown keys fail",
+    )
     run.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="parallel workers for scheme evaluation (default: serial)",
@@ -134,27 +145,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _call_experiment(
-    name: str, preset: str, seed, runner: Optional[RunnerConfig] = None
-):
-    func = EXPERIMENTS[name]
-    kwargs = {"preset": preset}
-    if seed is not None:
-        kwargs["seed"] = seed
-    # Timing-focused experiments (fig4c, scan-rate) take no runner; only
-    # pass one where the driver supports parallel evaluation.
-    if runner is not None and "runner" in inspect.signature(func).parameters:
-        kwargs["runner"] = runner
-    return func(**kwargs)
+def parse_overrides(pairs: List[str]) -> Dict[str, object]:
+    """Parse repeated ``--set key=val`` flags into builder overrides.
+
+    Values parse as Python literals (``4``, ``0.5``, ``[4, 8]``) and
+    fall back to the raw string (``--set calibration=cal.json``).
+    """
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ExperimentError(
+                f"--set expects KEY=VAL, got {pair!r}"
+            )
+        try:
+            value = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            value = raw
+        overrides[key] = value
+    return overrides
 
 
-def _run_one(
-    name: str, preset: str, seed, runner: Optional[RunnerConfig] = None
-) -> None:
-    if name == "fig6":
-        print_result(experiments.fig6_worked_example())
-        return
-    print_result(_call_experiment(name, preset, seed, runner))
+def _run_one(name: str, args, runner: Optional[RunnerConfig] = None) -> None:
+    print_result(
+        run_experiment(
+            name,
+            preset=args.preset,
+            seed=args.seed,
+            runner=runner,
+            scheme=args.scheme,
+            overrides=parse_overrides(args.overrides),
+        )
+    )
 
 
 def _runner_from_args(args) -> Optional[RunnerConfig]:
@@ -168,19 +191,32 @@ def _run_shard(args) -> int:
     if args.shard_index is None or args.out is None:
         raise ExperimentError("--shards requires --shard-index and --out")
     name = args.experiment
-    if name not in shardable_experiments():
+    entry = get_experiment(name)
+    if not entry.shardable:
         raise ExperimentError(
             f"experiment {name!r} cannot be sharded; shardable experiments: "
-            f"{', '.join(shardable_experiments())}"
+            f"{', '.join(shardable_experiment_names())}"
         )
     spec = ShardSpec(args.shard_index, args.shards)
     recorder = ShardRecorder(spec)
     base = _runner_from_args(args) or RunnerConfig()
+    overrides = parse_overrides(args.overrides)
     # The returned (partial) result is discarded: only the recorded wire
     # units matter, and `merge` rebuilds the full result from them.
-    _call_experiment(name, args.preset, args.seed, replace(base, shard=recorder))
+    run_experiment(
+        name,
+        preset=args.preset,
+        seed=args.seed,
+        runner=replace(base, shard=recorder),
+        scheme=args.scheme,
+        overrides=overrides,
+    )
     payload = recorder.payload(
-        experiment=name, preset=args.preset, seed=args.seed
+        experiment=name,
+        preset=args.preset,
+        seed=args.seed,
+        scheme=args.scheme,
+        overrides=overrides,
     )
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
@@ -215,18 +251,65 @@ def _merge(args) -> int:
             raise ExperimentError(f"cannot read shard file {path}: {exc}")
     calls, meta = merge_payloads(payloads)
     name = meta.get("experiment")
-    if name not in shardable_experiments():
+    if name not in shardable_experiment_names():
         raise ExperimentError(
             f"shard files name experiment {name!r}, which is unknown or "
             "not shardable"
         )
     replayer = ShardReplayer(calls)
-    runner = RunnerConfig(shard=replayer)
-    result = _call_experiment(name, meta.get("preset", "ci"), meta.get("seed"), runner)
+    result = run_experiment(
+        name,
+        preset=meta.get("preset", "ci"),
+        seed=meta.get("seed"),
+        runner=RunnerConfig(shard=replayer),
+        scheme=meta.get("scheme"),
+        overrides=meta.get("overrides") or {},
+    )
     replayer.assert_exhausted()
     print_result(result)
     if args.out:
         print(f"\nwrote merged result to {save_result(result, args.out)}")
+    return 0
+
+
+def _list(args) -> int:
+    sections = []
+    if args.experiments:
+        sections.append("experiments")
+    if args.schemes:
+        sections.append("schemes")
+    if args.scenarios:
+        sections.append("scenarios")
+    if not sections:
+        sections = ["experiments", "schemes", "scenarios"]
+    width = 20
+    if "experiments" in sections:
+        print("experiments:")
+        for name in experiment_names():
+            entry = get_experiment(name)
+            flags = []
+            if not entry.shardable:
+                flags.append("not shardable")
+            if not entry.include_in_all:
+                flags.append("not in 'run all'")
+            suffix = f"  [{'; '.join(flags)}]" if flags else ""
+            print(f"  {name:<{width}} {entry.description}{suffix}")
+    if "schemes" in sections:
+        if "experiments" in sections:
+            print()
+        print("schemes:")
+        for name in scheme_names():
+            entry = get_scheme(name)
+            print(
+                f"  {name:<{width}} {entry.description} "
+                f"(default input: {entry.default_spec})"
+            )
+    if "scenarios" in sections:
+        if len(sections) > 1:
+            print()
+        print("scenarios:")
+        for name in scenario_names():
+            print(f"  {name:<{width}} {scenario_description(name)}")
     return 0
 
 
@@ -251,21 +334,35 @@ def _main(argv=None) -> int:
             print(path)
         return 0
     if args.command == "list":
-        for name in sorted(EXPERIMENTS) + ["fig6"]:
-            print(name)
-        return 0
+        return _list(args)
     if args.command == "merge":
         return _merge(args)
+    if args.experiment == "all":
+        # Per-experiment flags don't compose with 'all': overrides are
+        # validated against one builder's knobs, and probe-only
+        # experiments reject --scheme - failing upfront beats dying
+        # halfway through with partial output.
+        if args.scheme is not None or args.overrides or args.shards is not None:
+            raise ExperimentError(
+                "--scheme/--set/--shards require a single experiment, not 'all'"
+            )
+    else:
+        get_experiment(args.experiment)  # fail fast on unknown names
+    if args.scheme is not None:
+        get_scheme(args.scheme)
     if args.shards is not None:
         return _run_shard(args)
     if args.shard_index is not None or args.out is not None:
         raise ExperimentError("--shard-index/--out are only valid with --shards")
     runner = _runner_from_args(args)
     if args.experiment == "all":
-        for name in sorted(EXPERIMENTS) + ["fig6"]:
-            _run_one(name, args.preset, args.seed, runner)
+        # The table1 phase experiments are excluded: the combined
+        # table1 already runs both phases, and each phase would redo
+        # the full calibrate-grid sweep.
+        for name in default_experiment_names():
+            _run_one(name, args, runner)
         return 0
-    _run_one(args.experiment, args.preset, args.seed, runner)
+    _run_one(args.experiment, args, runner)
     return 0
 
 

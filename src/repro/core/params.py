@@ -67,6 +67,15 @@ class FlockParams:
     def prior_gain(self, is_device: bool) -> float:
         return self.device_prior_gain if is_device else self.link_prior_gain
 
+    def grid_overrides(self) -> dict:
+        """The calibratable fields as keyword overrides.
+
+        This is the shape the calibration grids (section 5.2) sweep and
+        the scheme registry's ``flock`` factory accepts, so parameter
+        presets round-trip through ``--set``-style override dicts.
+        """
+        return {"pg": self.pg, "pb": self.pb, "rho": self.rho}
+
 
 #: Calibrated defaults for the per-packet (retransmission) analysis, in the
 #: regime of the paper's simulations: good links drop <= 0.01%, failed links

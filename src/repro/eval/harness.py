@@ -2,9 +2,12 @@
 
 A :class:`SchemeSetup` pairs a localizer with the telemetry input it
 consumes (the paper annotates every scheme this way: "Flock (A1+A2+P)",
-"NetBouncer (INT)", "007 (A2)", ...).  The harness builds the inference
-problem for each trace, runs localization, times it, and scores the
-prediction.
+"NetBouncer (INT)", "007 (A2)", ...).  Setups are usually constructed
+by name through the scheme registry (:func:`repro.eval.schemes.make_setup`),
+and whole evaluation grids by declarative experiment specs
+(:mod:`repro.eval.spec`); this module is the execution substrate both
+sit on.  The harness builds the inference problem for each trace, runs
+localization, times it, and scores the prediction.
 
 Execution architecture
 ----------------------

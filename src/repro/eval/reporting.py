@@ -13,7 +13,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import ExperimentError
-from .experiments import ExperimentResult
+from .spec import ExperimentResult
 
 RESULT_FORMAT = "flock-result-v1"
 

@@ -28,10 +28,16 @@ Three layers:
   distributed workers (e.g. ``repro-flock run ... --shards N
   --shard-index I``).
 
-Sharding assumes the experiment's sequence of grid calls does not
-depend on evaluation results.  Every figure experiment satisfies this;
-``table1`` does not (each shard would calibrate on partial data and
-pick its own operating point), so the CLI refuses to shard it.
+Sharding assumes the experiment's sequence of grid calls is a pure
+function of the experiment *spec* (name, preset, seed, overrides) -
+never of evaluation results.  Spec-based experiments satisfy this by
+construction: :func:`~repro.eval.spec.run_spec` issues one grid call
+per scheme point, in spec order, and any result-dependent work (the
+table1 calibrate phase) happens at spec-*build* time, identically and
+unsharded in every worker and in the merge.  Experiments registered
+with ``shardable=False`` (probe-only timing experiments; ``table1``,
+whose build-time calibration dominates its cost) are refused by the
+CLI.
 """
 
 from __future__ import annotations
@@ -47,7 +53,10 @@ from .serialize import trace_result_from_wire, trace_result_to_wire
 SHARD_FORMAT = "flock-shard-v1"
 
 #: Payload metadata keys that must agree across merged shard files.
-_META_KEYS = ("experiment", "preset", "seed")
+#: ``scheme`` and ``overrides`` capture the CLI's ``--scheme`` /
+#: ``--set`` flags: the merge rebuilds the experiment spec from this
+#: metadata, so anything that changes the spec must round-trip here.
+_META_KEYS = ("experiment", "preset", "seed", "scheme", "overrides")
 
 
 def shard_bounds(n_items: int, n_shards: int) -> List[Tuple[int, int]]:

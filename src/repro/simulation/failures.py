@@ -22,7 +22,7 @@ Scenarios
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple, Type
 
 import numpy as np
 
@@ -194,3 +194,56 @@ class NoFailure(FailureScenario):
     def inject(self, topology: Topology, rng: np.random.Generator) -> Injection:
         plan = good_link_rates(topology, rng)
         return Injection(ground_truth=GroundTruth(), plan=plan)
+
+
+# ----------------------------------------------------------------------
+# Scenario registry
+# ----------------------------------------------------------------------
+
+#: Registered failure scenarios, keyed by the names experiment specs and
+#: the CLI (``repro-flock list --scenarios``) use.
+_REGISTRY: Dict[str, Type[FailureScenario]] = {}
+
+
+def register_scenario(name: str, cls: Type[FailureScenario]) -> None:
+    """Register a scenario class under ``name``; replaces any entry."""
+    _REGISTRY[name] = cls
+
+
+def get_scenario(name: str) -> Type[FailureScenario]:
+    """Look up a registered scenario class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(scenario_names())}"
+        ) from None
+
+
+def make_scenario(name: str, **params) -> FailureScenario:
+    """Construct a registered scenario with constructor parameters."""
+    cls = get_scenario(name)
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise SimulationError(
+            f"cannot construct scenario {name!r} with parameters {params}: {exc}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def scenario_description(name: str) -> str:
+    """First docstring line of a registered scenario class."""
+    doc = get_scenario(name).__doc__ or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+register_scenario("silent-link-drops", SilentLinkDrops)
+register_scenario("silent-device-failure", SilentDeviceFailure)
+register_scenario("queue-misconfig", QueueMisconfig)
+register_scenario("link-flap", LinkFlap)
+register_scenario("no-failure", NoFailure)
