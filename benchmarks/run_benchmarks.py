@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Benchmark trajectory runner: kernels + trace pipeline -> BENCH_*.json.
+
+Runs the repo's headline performance numbers outside pytest and writes
+a machine-readable snapshot (per-benchmark mean/stddev over repeats,
+git sha, preset) to ``BENCH_<label>.json`` at the repo root, so perf
+PRs carry before/after evidence that CI can re-measure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --preset tiny
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --preset large \
+        --label columnar --repeats 3
+
+Benchmarks
+----------
+* ``trace_build_columnar`` - simulate -> telemetry -> InferenceProblem
+  through the struct-of-arrays pipeline (FlowBatch / ObservationBatch /
+  from_batch), one fresh trace per repeat over a shared PathSpace (the
+  runner's steady state).
+* ``trace_build_object`` - the same workload through the object API
+  (FlowSpec list -> FlowRecord list -> build_observations ->
+  from_observations).  Note this is the *current* object API, whose
+  simulate() internally rides the batch kernel over a persistent
+  shared PathSpace - i.e. the reported speedup is conservative
+  relative to the pre-columnar per-record implementation.
+* ``simulate_columnar`` - trace generation alone (specs + simulator).
+* ``kernel_delta_vector`` / ``kernel_delta_reference`` - JLE delta-array
+  construction, vectorized vs reference engine.
+* ``kernel_flip_vector`` - one JLE flip pair on the vector state.
+* ``localize_greedy_fast`` - full Flock greedy+JLE localization.
+* ``localize_gibbs`` - Gibbs sampling localization.
+
+The ``derived.trace_build_speedup`` field is the headline number:
+object mean / columnar mean.  A warmup round precedes timing so the
+shared-interning steady state (what experiments actually run in) is
+what gets measured; the warmup's cold time is recorded separately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+PRESETS = {
+    # preset -> (n_passive, n_probes)
+    "tiny": (1_200, 200),
+    "ci": (4_000, 600),
+    "large": (100_000, 5_000),
+}
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _timed(fn, repeats: int, warmup: int = 1):
+    """Run ``fn(i)`` for warmup + repeats; return (times, cold_times)."""
+    cold = []
+    for i in range(warmup):
+        t0 = time.perf_counter()
+        fn(i)
+        cold.append(time.perf_counter() - t0)
+    times = []
+    for i in range(repeats):
+        t0 = time.perf_counter()
+        fn(warmup + i)
+        times.append(time.perf_counter() - t0)
+    return times, cold
+
+
+def _stats(times, cold=None):
+    entry = {
+        "mean_s": statistics.fmean(times),
+        "stddev_s": statistics.stdev(times) if len(times) > 1 else 0.0,
+        "repeats": len(times),
+    }
+    if cold:
+        entry["cold_s"] = statistics.fmean(cold)
+    return entry
+
+
+def build_benchmarks(preset: str, base_seed: int):
+    """Return {name: callable(i)} benchmark closures for the preset."""
+    from repro.core.flock_fast import VectorJleState
+    from repro.core.gibbs import GibbsInference
+    from repro.core.jle import JleState
+    from repro.core.params import DEFAULT_PER_PACKET
+    from repro.core.problem import InferenceProblem
+    from repro.eval.experiments import standard_topology
+    from repro.eval.scenarios import make_matrix, make_trace
+    from repro.eval.schemes import build_localizer
+    from repro.routing import EcmpRouting
+    from repro.simulation import FlowLevelSimulator, SilentLinkDrops
+    from repro.telemetry.inputs import (
+        TelemetryConfig,
+        build_observation_batch,
+        build_observations,
+    )
+    from repro.traffic import generate_passive_flows
+    from repro.traffic.probes import a1_probe_plan
+
+    n_passive, n_probes = PRESETS[preset]
+    topo = standard_topology("tiny" if preset == "tiny" else "ci")
+    routing = EcmpRouting(topo)
+    telemetry = TelemetryConfig.from_spec("A1+A2+P")
+    scenario = SilentLinkDrops(n_failures=3, min_rate=4e-3, max_rate=1e-2)
+
+    def trace_build_columnar(i):
+        trace = make_trace(
+            topo, routing, scenario, seed=base_seed + i,
+            n_passive=n_passive, n_probes=n_probes,
+        )
+        batch = build_observation_batch(
+            trace.batch, telemetry, np.random.default_rng(5)
+        )
+        return InferenceProblem.from_batch(
+            batch, topo.n_components, topo.n_links
+        )
+
+    # The object arm shares one space across repeats too, so neither
+    # arm is charged fresh-interning costs the other amortizes.
+    from repro.routing.paths import PathSpace
+
+    object_space = PathSpace(topo, routing)
+
+    def trace_build_object(i):
+        # The object API route: per-flow specs, per-flow records,
+        # per-flow observations.
+        rng = np.random.default_rng(base_seed + i)
+        injection = scenario.inject(topo, rng)
+        matrix = make_matrix(topo, "uniform", rng)
+        specs = list(
+            generate_passive_flows(routing, matrix, n_passive, rng)
+        )
+        specs.extend(a1_probe_plan(topo, routing, n_probes, rng))
+        records = FlowLevelSimulator(topo).simulate(
+            specs, injection, rng, space=object_space
+        )
+        observations = build_observations(
+            records, topo, routing, telemetry, np.random.default_rng(5)
+        )
+        return InferenceProblem.from_observations(
+            observations, topo.n_components, topo.n_links
+        )
+
+    def simulate_columnar(i):
+        return make_trace(
+            topo, routing, scenario, seed=base_seed + 1000 + i,
+            n_passive=n_passive, n_probes=n_probes,
+        )
+
+    # A fixed mid-size problem for the kernel micro-benchmarks.
+    kernel_problem = trace_build_columnar(10_000)
+
+    def kernel_delta_vector(i):
+        return VectorJleState(kernel_problem, DEFAULT_PER_PACKET)
+
+    def kernel_delta_reference(i):
+        return JleState(kernel_problem, DEFAULT_PER_PACKET)
+
+    vector_state = VectorJleState(kernel_problem, DEFAULT_PER_PACKET)
+    flip_comp = kernel_problem.observed_components[0]
+
+    def kernel_flip_vector(i):
+        vector_state.flip(flip_comp)
+        vector_state.flip(flip_comp)
+
+    greedy = build_localizer("flock")
+    gibbs = GibbsInference(DEFAULT_PER_PACKET, sweeps=12, burn_in=4, seed=0)
+
+    def localize_greedy_fast(i):
+        return greedy.localize(kernel_problem)
+
+    def localize_gibbs(i):
+        return gibbs.localize(kernel_problem)
+
+    return {
+        "trace_build_columnar": trace_build_columnar,
+        "trace_build_object": trace_build_object,
+        "simulate_columnar": simulate_columnar,
+        "kernel_delta_vector": kernel_delta_vector,
+        "kernel_delta_reference": kernel_delta_reference,
+        "kernel_flip_vector": kernel_flip_vector,
+        "localize_greedy_fast": localize_greedy_fast,
+        "localize_gibbs": localize_gibbs,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="ci")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--label", default=None,
+                        help="BENCH_<label>.json (default: the preset)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out-dir", default=str(REPO_ROOT))
+    args = parser.parse_args()
+
+    benches = build_benchmarks(args.preset, args.seed)
+    results = {}
+    for name, fn in benches.items():
+        times, cold = _timed(fn, args.repeats)
+        results[name] = _stats(times, cold)
+        print(f"{name:26s} mean {results[name]['mean_s']:8.4f}s "
+              f"(stddev {results[name]['stddev_s']:.4f}, "
+              f"cold {results[name]['cold_s']:.4f})")
+
+    derived = {}
+    obj = results.get("trace_build_object", {}).get("mean_s")
+    col = results.get("trace_build_columnar", {}).get("mean_s")
+    if obj and col:
+        derived["trace_build_speedup"] = obj / col
+        print(f"trace build speedup (object/columnar): {obj / col:.2f}x")
+
+    label = args.label or args.preset
+    payload = {
+        "label": label,
+        "git_sha": _git_sha(),
+        "preset": args.preset,
+        "repeats": args.repeats,
+        "benchmarks": results,
+        "derived": derived,
+    }
+    out = Path(args.out_dir) / f"BENCH_{label}.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -86,6 +86,7 @@ from .topology import (
     three_tier_clos,
 )
 from .types import (
+    FlowBatch,
     FlowObservation,
     FlowRecord,
     GroundTruth,
@@ -155,6 +156,7 @@ __all__ = [
     "make_setup",
     # types
     "FlowRecord",
+    "FlowBatch",
     "FlowObservation",
     "Prediction",
     "GroundTruth",

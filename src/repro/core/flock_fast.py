@@ -43,29 +43,7 @@ from .params import FlockParams
 from .problem import InferenceProblem
 
 
-def _csr_from_lists(lists, dtype=np.int64):
-    """Flatten a list of int sequences into (values, offsets)."""
-    lengths = np.fromiter((len(x) for x in lists), dtype=np.int64, count=len(lists))
-    offsets = np.zeros(len(lists) + 1, dtype=np.int64)
-    np.cumsum(lengths, out=offsets[1:])
-    values = np.empty(int(offsets[-1]), dtype=dtype)
-    pos = 0
-    for seq in lists:
-        values[pos:pos + len(seq)] = seq
-        pos += len(seq)
-    return values, offsets
-
-
-def _expand_slices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Indices covering [starts[i], starts[i]+lengths[i]) for every i."""
-    total = int(lengths.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    ends = np.cumsum(lengths)
-    out = np.arange(total, dtype=np.int64)
-    out -= np.repeat(ends - lengths, lengths)
-    out += np.repeat(starts, lengths)
-    return out
+from .problem import _expand_slices  # noqa: E402  (shared CSR helper)
 
 
 class VectorArrays:
@@ -78,31 +56,27 @@ class VectorArrays:
 
         self.s = evidence_scores(problem.bad_packets, problem.packets_sent, params)
         self.wt = problem.weights.astype(np.float64)
-        self.w = np.fromiter(
-            (len(fp) for fp in problem.flow_paths),
-            dtype=np.float64,
-            count=problem.n_flows,
-        )
 
-        self.path_comps, self.path_off = _csr_from_lists(
-            [problem.path_table.components(p) for p in range(problem.n_paths)]
-        )
+        # The problem's primary representation already is the CSR this
+        # engine wants - share the arrays instead of rebuilding them
+        # from the object views.
+        self.path_comps, self.path_off = problem.path_comps, problem.path_off
         self.path_len = np.diff(self.path_off)
-        self.flow_pids, self.flow_off = _csr_from_lists(problem.flow_paths)
+        self.flow_pids, self.flow_off = problem.flow_pids, problem.flow_off
         self.flow_len = np.diff(self.flow_off)
-
-        self.comp_flow_map: Dict[int, np.ndarray] = {
-            comp: np.asarray(flows, dtype=np.int64)
-            for comp, flows in problem.flows_by_comp.items()
-        }
-        self.comp_path_map: Dict[int, np.ndarray] = {
-            comp: np.asarray(pids, dtype=np.int64)
-            for comp, pids in problem.paths_by_comp.items()
-        }
+        self.w = self.flow_len.astype(np.float64)
 
         self.prior_gain = np.empty(self.n_comps)
         self.prior_gain[: problem.n_links] = params.link_prior_gain
         self.prior_gain[problem.n_links:] = params.device_prior_gain
+
+    def comp_flows(self, comp: int) -> np.ndarray:
+        """Flows that can blame ``comp`` (empty array when unobserved)."""
+        return self.problem.comp_flows(comp)
+
+    def comp_paths(self, comp: int) -> np.ndarray:
+        """Interned paths containing ``comp``."""
+        return self.problem.comp_path_ids(comp)
 
     # ------------------------------------------------------------------
     def flow_instances(self, flows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -131,7 +105,7 @@ class VectorArrays:
         )
 
     def affected_flows(self, comps: Iterable[int]) -> np.ndarray:
-        arrays = [self.comp_flow_map[c] for c in comps if c in self.comp_flow_map]
+        arrays = [a for a in (self.comp_flows(c) for c in comps) if len(a)]
         if not arrays:
             return np.empty(0, dtype=np.int64)
         if len(arrays) == 1:
@@ -153,9 +127,7 @@ class VectorArrays:
                 local, pids = self.flow_instances(flows)
                 path_bad = np.zeros(self.problem.n_paths, dtype=bool)
                 for comp in hyp:
-                    pid_arr = self.comp_path_map.get(comp)
-                    if pid_arr is not None:
-                        path_bad[pid_arr] = True
+                    path_bad[self.comp_paths(comp)] = True
                 b = np.bincount(
                     local,
                     weights=path_bad[pids].astype(np.float64),
@@ -215,9 +187,38 @@ class VectorJleState(VectorArrays):
         if comp in self.hypothesis:
             raise InferenceError(
                 "gain() prices additions; for a member's removal gain "
-                "flip it and read the ll change"
+                "use removal_gain()"
             )
         return float(self.delta[comp] + self.prior_gain[comp])
+
+    def removal_gain(self, comp: int) -> float:
+        """(data - prior) LL change of removing a member, priced
+        without flipping - the Gibbs sampler's conditional for a
+        component currently in the hypothesis.  Mirrors the reference
+        engine's ``gain()`` for members: removal data delta minus the
+        prior gain."""
+        if comp not in self.hypothesis:
+            raise InferenceError(f"component {comp} is not in the hypothesis")
+        total = 0.0
+        flows = self.comp_flows(comp)
+        if len(flows):
+            local, pids = self.flow_instances(flows)
+            path_has = np.zeros(self.problem.n_paths, dtype=bool)
+            path_has[self.comp_paths(comp)] = True
+            nf_new = self.path_nfailed[pids] - path_has[pids]
+            b_new = np.bincount(
+                local,
+                weights=(nf_new > 0).astype(np.float64),
+                minlength=len(flows),
+            )
+            b_old = self.flow_b[flows].astype(np.float64)
+            w = self.w[flows]
+            s = self.s[flows]
+            diff = normalized_flow_ll_vec(b_new, w, s) - normalized_flow_ll_vec(
+                b_old, w, s
+            )
+            total = float(np.dot(self.wt[flows], diff))
+        return total - float(self.prior_gain[comp])
 
     # ------------------------------------------------------------------
     def flip(self, comp: int) -> float:
@@ -229,10 +230,10 @@ class VectorJleState(VectorArrays):
         if adding:
             change = float(self.delta[comp] + self.prior_gain[comp])
 
-        affected = self.comp_flow_map.get(comp)
-        paths_of_comp = self.comp_path_map.get(comp, np.empty(0, dtype=np.int64))
+        affected = self.comp_flows(comp)
+        paths_of_comp = self.comp_paths(comp)
         step = 1 if adding else -1
-        if affected is not None and len(affected) > 0:
+        if len(affected) > 0:
             af_local, af_pid = self.flow_instances(affected)
 
             path_has = np.zeros(problem.n_paths, dtype=bool)
@@ -317,14 +318,12 @@ class VectorGreedyWithoutJle(VectorArrays):
 
     def candidate_gain(self, comp: int) -> float:
         """LL(H + comp) - LL(H), recomputed over flows(comp)."""
-        flows = self.comp_flow_map.get(comp)
-        if flows is None or not len(flows):
+        flows = self.comp_flows(comp)
+        if not len(flows):
             return float(self.prior_gain[comp])
         local, pids = self.flow_instances(flows)
         path_has = np.zeros(self.problem.n_paths, dtype=bool)
-        pid_arr = self.comp_path_map.get(comp)
-        if pid_arr is not None:
-            path_has[pid_arr] = True
+        path_has[self.comp_paths(comp)] = True
         newly_bad = path_has[pids] & (self.path_nfailed[pids] == 0)
         extra = np.bincount(
             local, weights=newly_bad.astype(np.float64), minlength=len(flows)
@@ -338,9 +337,9 @@ class VectorGreedyWithoutJle(VectorArrays):
         return float(np.dot(self.wt[flows], diff) + self.prior_gain[comp])
 
     def commit(self, comp: int, gain: float) -> None:
-        pid_arr = self.comp_path_map.get(comp, np.empty(0, dtype=np.int64))
-        flows = self.comp_flow_map.get(comp)
-        if flows is not None and len(flows):
+        pid_arr = self.comp_paths(comp)
+        flows = self.comp_flows(comp)
+        if len(flows):
             local, pids = self.flow_instances(flows)
             path_has = np.zeros(self.problem.n_paths, dtype=bool)
             path_has[pid_arr] = True

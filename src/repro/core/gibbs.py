@@ -16,13 +16,12 @@ thresholded into a prediction.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 
 from ..errors import InferenceError
 from ..types import Prediction
-from .jle import JleState
+from .flock_fast import VectorJleState
 from .params import DEFAULT_PER_PACKET, FlockParams
 from .problem import InferenceProblem
 
@@ -59,34 +58,43 @@ class GibbsInference:
 
     def localize(self, problem: InferenceProblem) -> Prediction:
         rng = np.random.default_rng(self._seed)
-        state = JleState(problem, self._params)
-        candidates = list(problem.observed_components)
-        if not candidates:
+        state = VectorJleState(problem, self._params)
+        candidates = np.asarray(problem.observed_components, dtype=np.int64)
+        if not len(candidates):
             return Prediction.empty()
 
-        inclusion_counts = {comp: 0 for comp in candidates}
+        # Array state: hypothesis membership and per-sweep inclusion
+        # counts accumulate as whole-array operations; only the flip
+        # chain itself is sequential (it is the Markov chain).
+        in_hyp = np.zeros(problem.n_components, dtype=bool)
+        inclusion = np.zeros(problem.n_components, dtype=np.int64)
         kept_samples = 0
         for sweep in range(self._sweeps):
             order = rng.permutation(len(candidates))
-            for idx in order:
-                comp = candidates[idx]
-                in_hyp = comp in state.hypothesis
-                if in_hyp:
+            # One uniform per candidate, pre-drawn: the generator fills
+            # arrays element-wise, so the stream matches the historical
+            # per-step rng.random() calls exactly.
+            draws = rng.random(len(candidates))
+            for step, idx in enumerate(order.tolist()):
+                comp = int(candidates[idx])
+                if in_hyp[comp]:
                     # gain of removing; P(failed | rest) via the reverse flip
-                    log_odds_failed = -state.gain(comp)
+                    log_odds_failed = -state.removal_gain(comp)
                 else:
                     log_odds_failed = state.gain(comp)
                 p_failed = _sigmoid(log_odds_failed)
-                want_failed = rng.random() < p_failed
-                if want_failed != in_hyp:
+                want_failed = draws[step] < p_failed
+                if want_failed != in_hyp[comp]:
                     state.flip(comp)
+                    in_hyp[comp] = want_failed
             if sweep >= self._burn_in:
                 kept_samples += 1
-                for comp in state.hypothesis:
-                    inclusion_counts[comp] += 1
+                inclusion[in_hyp] += 1
 
+        counts = inclusion[candidates]
         marginals = {
-            comp: count / kept_samples for comp, count in inclusion_counts.items()
+            int(comp): count / kept_samples
+            for comp, count in zip(candidates.tolist(), counts.tolist())
         }
         predicted = frozenset(
             comp for comp, p in marginals.items() if p >= self._threshold

@@ -1,7 +1,7 @@
 """The shared inference-problem representation.
 
-Every localization scheme consumes an :class:`InferenceProblem` built
-from a list of :class:`~repro.types.FlowObservation`.  The construction
+Every localization scheme consumes an :class:`InferenceProblem`.  The
+construction
 
 * interns distinct component-paths and path sets (datacenter traces have
   millions of flows over thousands of distinct paths),
@@ -11,17 +11,88 @@ from a list of :class:`~repro.types.FlowObservation`.  The construction
   additive) while shrinking the working set dramatically, and
 * builds the inverted indexes (component -> flows, component -> paths)
   that JLE's update rule walks.
+
+The problem's primary representation is columnar: CSR arrays for
+path -> components, flow -> path ids, component -> flows and
+component -> paths, plus aligned per-flow count arrays.  The vectorized
+kernels (:mod:`repro.core.flock_fast`) consume the arrays directly; the
+object views the reference engines and baselines walk (``path_table``,
+``flow_paths``, ``flows_by_comp``, ...) are lazy adapters materialized
+from the arrays on first access, with contents identical to what the
+historical per-flow construction produced.
+
+Two constructors share the representation: :meth:`InferenceProblem
+.from_batch` is the columnar path (grouping is an ``np.unique`` over
+packed key columns; per-observation work is array algebra), and
+:meth:`InferenceProblem.from_observations` the object path kept for
+deserialized datasets and hand-built test problems.  Both produce
+bit-identical problems for the same logical input: local path ids and
+flow groups are numbered in first-appearance order either way.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import (
+    Dict, FrozenSet, List, Optional, Sequence, Tuple, TYPE_CHECKING,
+)
 
 import numpy as np
 
 from ..errors import InferenceError
-from ..routing.paths import PathTable
+from ..routing.paths import PathTable, first_seen_ids
 from ..types import FlowObservation, TelemetryKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.inputs import ObservationBatch
+
+
+def _expand_slices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Indices covering [starts[i], starts[i]+lengths[i]) for every i."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(ends - lengths, lengths)
+    out += np.repeat(starts, lengths)
+    return out
+
+
+def _csr_from_tuples(rows: Sequence[Sequence[int]]) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten int tuples into CSR (values, offsets)."""
+    lengths = np.fromiter((len(r) for r in rows), dtype=np.int64, count=len(rows))
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    values = np.fromiter(
+        (v for row in rows for v in row), dtype=np.int64, count=int(offsets[-1])
+    )
+    return values, offsets
+
+
+def _split_sorted(sorted_keys: np.ndarray, values: np.ndarray) -> Dict[int, List[int]]:
+    """Turn aligned (sorted keys, values) arrays into {key: [values]}."""
+    uniq, starts = np.unique(sorted_keys, return_index=True)
+    out: Dict[int, List[int]] = {}
+    stops = np.append(starts[1:], len(values))
+    for key, start, stop in zip(uniq.tolist(), starts.tolist(), stops.tolist()):
+        out[key] = values[start:stop].tolist()
+    return out
+
+
+def _first_seen_unique_rows(*cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Group equal rows of aligned int columns, first-appearance order.
+
+    Returns ``(rep_rows, counts)``: the index of each group's first row
+    (ascending, i.e. insertion order of the object pipeline's grouping
+    dict) and the group sizes.
+    """
+    mat = np.ascontiguousarray(
+        np.column_stack([np.asarray(c, dtype=np.int64) for c in cols])
+    )
+    view = mat.view([(f"f{i}", np.int64) for i in range(mat.shape[1])]).ravel()
+    _, first_idx, counts = np.unique(view, return_index=True, return_counts=True)
+    order = np.argsort(first_idx, kind="stable")
+    return first_idx[order], counts[order]
 
 
 class InferenceProblem:
@@ -33,14 +104,21 @@ class InferenceProblem:
         Size of the component id space (``topology.n_components``).
     n_links:
         Boundary between link ids and device ids.
-    flow_paths:
-        Per (grouped) flow: tuple of interned path ids, with multiplicity
-        (``w`` = its length; a path id may repeat when two ECMP node
-        paths map to the same component set).
+    path_comps / path_off:
+        CSR of component ids per interned path (sorted, de-duplicated
+        per path).
+    flow_pids / flow_off:
+        CSR of interned path ids per (grouped) flow, with multiplicity
+        (``w`` = segment length; a path id may repeat when two ECMP
+        node paths map to the same component set).
     bad_packets / packets_sent / weights:
         Aligned int arrays: ``r``, ``t`` and the group multiplicity.
     exact:
         Aligned bool array: True when the flow's path is known exactly.
+    flow_paths / path_table / flows_by_comp / paths_by_comp /
+    comps_by_flow / path_component_sets:
+        Lazy object views over the arrays (reference engines and
+        baselines); identical contents to the historical eager build.
     """
 
     def __init__(
@@ -57,18 +135,132 @@ class InferenceProblem:
     ) -> None:
         self.n_components = n_components
         self.n_links = n_links
-        self.path_table = path_table
-        self.flow_paths = flow_paths
         self.bad_packets = bad_packets
         self.packets_sent = packets_sent
         self.weights = weights
         self.exact = exact
         self.kinds = kinds
+        self._path_table: Optional[PathTable] = path_table
+        self._flow_paths: Optional[List[Tuple[int, ...]]] = flow_paths
+        self._path_component_sets: Optional[List[FrozenSet[int]]] = None
 
-        self.path_component_sets: List[FrozenSet[int]] = [
-            frozenset(comps) for comps in path_table
+        # Derive the columnar form, deduplicating flows' path-id tuples
+        # so all union work below happens once per distinct set.
+        self.path_comps, self.path_off = _csr_from_tuples(list(path_table))
+        set_index: Dict[Tuple[int, ...], int] = {}
+        unique_sets: List[Tuple[int, ...]] = []
+        set_of_flow = np.empty(len(flow_paths), dtype=np.int64)
+        for flow, fp in enumerate(flow_paths):
+            sid = set_index.get(fp)
+            if sid is None:
+                sid = len(unique_sets)
+                set_index[fp] = sid
+                unique_sets.append(fp)
+            set_of_flow[flow] = sid
+        set_pids, set_off = _csr_from_tuples(unique_sets)
+        self._finish(set_of_flow, set_pids, set_off)
+
+    @classmethod
+    def _from_arrays(
+        cls,
+        n_components: int,
+        n_links: int,
+        path_comps: np.ndarray,
+        path_off: np.ndarray,
+        set_of_flow: np.ndarray,
+        set_pids: np.ndarray,
+        set_off: np.ndarray,
+        bad_packets: np.ndarray,
+        packets_sent: np.ndarray,
+        weights: np.ndarray,
+        exact: np.ndarray,
+        kinds: List[TelemetryKind],
+    ) -> "InferenceProblem":
+        """Array-native constructor (the columnar pipeline's entry)."""
+        self = cls.__new__(cls)
+        self.n_components = n_components
+        self.n_links = n_links
+        self.bad_packets = bad_packets
+        self.packets_sent = packets_sent
+        self.weights = weights
+        self.exact = exact
+        self.kinds = kinds
+        self._path_table = None
+        self._flow_paths = None
+        self._path_component_sets = None
+        self.path_comps = path_comps
+        self.path_off = path_off
+        self._finish(set_of_flow, set_pids, set_off)
+        return self
+
+    def _finish(
+        self,
+        set_of_flow: np.ndarray,
+        set_pids: np.ndarray,
+        set_off: np.ndarray,
+    ) -> None:
+        """Build flow CSR and inverted indexes as whole-array passes."""
+        n_comps = np.int64(self.n_components)
+        n_flows = len(set_of_flow)
+        n_sets = len(set_off) - 1
+        n_paths = len(self.path_off) - 1
+        self._set_of_flow = set_of_flow
+        self._set_pids = set_pids
+        self._set_off = set_off
+
+        # flow -> path ids CSR (gather each flow's set segment).
+        set_lens = np.diff(set_off)
+        flow_lens = set_lens[set_of_flow]
+        self.flow_off = np.zeros(n_flows + 1, dtype=np.int64)
+        np.cumsum(flow_lens, out=self.flow_off[1:])
+        self.flow_pids = set_pids[
+            _expand_slices(set_off[set_of_flow], flow_lens)
         ]
-        self._build_indexes()
+
+        # component -> paths: stable sort keeps pids ascending per key.
+        pc_lens = np.diff(self.path_off)
+        pid_of = np.repeat(np.arange(n_paths, dtype=np.int64), pc_lens)
+        order = np.argsort(self.path_comps, kind="stable")
+        self._comp_path_keys = self.path_comps[order]
+        self._comp_path_vals = pid_of[order]
+        self._comp_path_bounds = np.searchsorted(
+            self._comp_path_keys, np.arange(self.n_components + 1, dtype=np.int64)
+        )
+
+        # Per-set sorted component unions via one unique over packed
+        # (set, component) keys.
+        inst_counts = pc_lens[set_pids]
+        inst_set = np.repeat(
+            np.repeat(np.arange(n_sets, dtype=np.int64), set_lens), inst_counts
+        )
+        inst_comp = self.path_comps[
+            _expand_slices(self.path_off[set_pids], inst_counts)
+        ]
+        keys = np.unique(inst_set * n_comps + inst_comp)
+        self._set_union_comps = keys % n_comps
+        sets_u = keys // n_comps
+        self._set_union_bounds = np.searchsorted(
+            sets_u, np.arange(n_sets + 1, dtype=np.int64)
+        )
+
+        # component -> flows: expand per-set unions back to flows; a
+        # stable sort by component keeps flows ascending per key.
+        union_lens = np.diff(self._set_union_bounds)
+        flow_counts = union_lens[set_of_flow]
+        inst_flow = np.repeat(np.arange(n_flows, dtype=np.int64), flow_counts)
+        flow_comp = self._set_union_comps[
+            _expand_slices(self._set_union_bounds[set_of_flow], flow_counts)
+        ]
+        corder = np.argsort(flow_comp, kind="stable")
+        self._comp_flow_keys = flow_comp[corder]
+        self._comp_flow_vals = inst_flow[corder]
+        self._comp_flow_bounds = np.searchsorted(
+            self._comp_flow_keys, np.arange(self.n_components + 1, dtype=np.int64)
+        )
+
+        self._flows_by_comp: Optional[Dict[int, List[int]]] = None
+        self._paths_by_comp: Optional[Dict[int, List[int]]] = None
+        self._comps_by_flow: Optional[List[Tuple[int, ...]]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -124,23 +316,179 @@ class InferenceProblem:
             kinds=kinds,
         )
 
-    def _build_indexes(self) -> None:
-        flows_by_comp: Dict[int, List[int]] = {}
-        paths_by_comp: Dict[int, List[int]] = {}
-        comps_by_flow: List[Tuple[int, ...]] = []
-        for pid, comps in enumerate(self.path_table):
-            for comp in comps:
-                paths_by_comp.setdefault(comp, []).append(pid)
-        for flow, path_ids in enumerate(self.flow_paths):
-            union: set = set()
-            for pid in path_ids:
-                union.update(self.path_table.components(pid))
-            comps_by_flow.append(tuple(sorted(union)))
-            for comp in union:
-                flows_by_comp.setdefault(comp, []).append(flow)
-        self.flows_by_comp: Dict[int, List[int]] = flows_by_comp
-        self.paths_by_comp: Dict[int, List[int]] = paths_by_comp
-        self.comps_by_flow: List[Tuple[int, ...]] = comps_by_flow
+    @classmethod
+    def from_batch(
+        cls,
+        batch: "ObservationBatch",
+        n_components: int,
+        n_links: int,
+    ) -> "InferenceProblem":
+        """Build the problem from a columnar observation batch.
+
+        Grouping is one ``np.unique`` over the packed
+        (path-set, bad, sent, kind) key columns, reordered to
+        first-appearance order so groups - and the path table's local
+        ids - come out exactly as :meth:`from_observations` would
+        produce them for the same rows.
+        """
+        if n_links > n_components:
+            raise InferenceError("n_links cannot exceed n_components")
+        from ..telemetry.inputs import KIND_ORDER
+
+        space = batch.space
+        if len(batch) == 0:
+            return cls.from_observations([], n_components, n_links)
+
+        rep_rows, counts = _first_seen_unique_rows(
+            batch.path_set, batch.bad, batch.sent, batch.kind
+        )
+        rep_gsids = batch.path_set[rep_rows]
+
+        # Local path ids are assigned in first-appearance order, which
+        # factors through path *sets*: a gid's first appearance is
+        # always inside the first occurrence of its set (same set ->
+        # same gids), so scanning distinct sets in first-seen order
+        # reproduces the per-observation interning order exactly - and
+        # each set's local-id segment is computed once, not per group.
+        ordered_gsids, set_of_flow = first_seen_ids(rep_gsids)
+
+        member_arrays = [space.comp_set(int(g)) for g in ordered_gsids.tolist()]
+        set_lens = np.fromiter(
+            (len(a) for a in member_arrays),
+            dtype=np.int64,
+            count=len(member_arrays),
+        )
+        set_off = np.zeros(len(member_arrays) + 1, dtype=np.int64)
+        np.cumsum(set_lens, out=set_off[1:])
+        flat_gids = (
+            np.concatenate(member_arrays) if member_arrays
+            else np.empty(0, dtype=np.int64)
+        )
+
+        # Global -> local path ids, first-seen over the flat scan.
+        local_gids, set_pids = first_seen_ids(flat_gids)
+
+        # Local path -> components CSR, gathered from the space's
+        # global CSR in local-id order.
+        cc_flat, cc_off = space.comp_csr()
+        path_lens = cc_off[local_gids + 1] - cc_off[local_gids]
+        path_off = np.zeros(len(local_gids) + 1, dtype=np.int64)
+        np.cumsum(path_lens, out=path_off[1:])
+        path_comps = cc_flat[_expand_slices(cc_off[local_gids], path_lens)]
+
+        # Component ids projected from the problem's own topology are in
+        # range by construction; only a mismatched space needs the scan.
+        if space.topology.n_components != n_components and len(path_comps):
+            bad_mask = (path_comps < 0) | (path_comps >= n_components)
+            if np.any(bad_mask):
+                raise InferenceError(
+                    f"component id {int(path_comps[bad_mask][0])} outside "
+                    f"[0, {n_components})"
+                )
+
+        return cls._from_arrays(
+            n_components=n_components,
+            n_links=n_links,
+            path_comps=path_comps,
+            path_off=path_off,
+            set_of_flow=set_of_flow,
+            set_pids=set_pids,
+            set_off=set_off,
+            bad_packets=batch.bad[rep_rows].astype(np.int64),
+            packets_sent=batch.sent[rep_rows].astype(np.int64),
+            weights=counts.astype(np.int64),
+            exact=set_lens[set_of_flow] == 1,
+            kinds=[KIND_ORDER[code] for code in batch.kind[rep_rows].tolist()],
+        )
+
+    # ------------------------------------------------------------------
+    # Array accessors (the vectorized kernels' interface)
+    # ------------------------------------------------------------------
+    def comp_flows(self, comp: int) -> np.ndarray:
+        """Flows that can blame ``comp`` (ascending, array view)."""
+        return self._comp_flow_vals[
+            self._comp_flow_bounds[comp]:self._comp_flow_bounds[comp + 1]
+        ]
+
+    def comp_path_ids(self, comp: int) -> np.ndarray:
+        """Interned paths containing ``comp`` (ascending, array view)."""
+        return self._comp_path_vals[
+            self._comp_path_bounds[comp]:self._comp_path_bounds[comp + 1]
+        ]
+
+    # ------------------------------------------------------------------
+    # Lazy object views (reference engines, baselines, tests)
+    # ------------------------------------------------------------------
+    @property
+    def path_table(self) -> PathTable:
+        """Interning table of the problem's component paths (lazy)."""
+        if self._path_table is None:
+            table = PathTable()
+            comps = self.path_comps.tolist()
+            for start, stop in zip(self.path_off[:-1].tolist(),
+                                   self.path_off[1:].tolist()):
+                table.intern_canonical(tuple(comps[start:stop]))
+            self._path_table = table
+        return self._path_table
+
+    @property
+    def flow_paths(self) -> List[Tuple[int, ...]]:
+        """Per-flow interned path-id tuples (lazy; tuples are shared
+        between flows with the same path set)."""
+        if self._flow_paths is None:
+            pids = self._set_pids.tolist()
+            set_tuples = [
+                tuple(pids[start:stop])
+                for start, stop in zip(self._set_off[:-1].tolist(),
+                                       self._set_off[1:].tolist())
+            ]
+            self._flow_paths = [
+                set_tuples[s] for s in self._set_of_flow.tolist()
+            ]
+        return self._flow_paths
+
+    @property
+    def path_component_sets(self) -> List[FrozenSet[int]]:
+        """Per-path frozen component sets (lazy; only the reference
+        engines walk these - the vectorized kernels use the CSR)."""
+        if self._path_component_sets is None:
+            self._path_component_sets = [
+                frozenset(comps) for comps in self.path_table
+            ]
+        return self._path_component_sets
+
+    @property
+    def flows_by_comp(self) -> Dict[int, List[int]]:
+        """{component: ascending flow indices} (lazy view)."""
+        if self._flows_by_comp is None:
+            self._flows_by_comp = _split_sorted(
+                self._comp_flow_keys, self._comp_flow_vals
+            )
+        return self._flows_by_comp
+
+    @property
+    def paths_by_comp(self) -> Dict[int, List[int]]:
+        """{component: ascending path ids} (lazy view)."""
+        if self._paths_by_comp is None:
+            self._paths_by_comp = _split_sorted(
+                self._comp_path_keys, self._comp_path_vals
+            )
+        return self._paths_by_comp
+
+    @property
+    def comps_by_flow(self) -> List[Tuple[int, ...]]:
+        """Per-flow sorted component unions (lazy view)."""
+        if self._comps_by_flow is None:
+            comps = self._set_union_comps.tolist()
+            union_by_set = [
+                tuple(comps[start:stop])
+                for start, stop in zip(self._set_union_bounds[:-1].tolist(),
+                                       self._set_union_bounds[1:].tolist())
+            ]
+            self._comps_by_flow = [
+                union_by_set[s] for s in self._set_of_flow.tolist()
+            ]
+        return self._comps_by_flow
 
     # ------------------------------------------------------------------
     # Accessors
@@ -148,7 +496,7 @@ class InferenceProblem:
     @property
     def n_flows(self) -> int:
         """Number of grouped flows."""
-        return len(self.flow_paths)
+        return len(self.bad_packets)
 
     @property
     def total_flows(self) -> int:
@@ -157,7 +505,7 @@ class InferenceProblem:
 
     @property
     def n_paths(self) -> int:
-        return len(self.path_table)
+        return len(self.path_off) - 1
 
     def is_device(self, comp: int) -> bool:
         return comp >= self.n_links
@@ -165,7 +513,8 @@ class InferenceProblem:
     @property
     def observed_components(self) -> Tuple[int, ...]:
         """Components that at least one flow can blame."""
-        return tuple(sorted(self.flows_by_comp))
+        counts = np.diff(self._comp_flow_bounds)
+        return tuple(np.nonzero(counts)[0].tolist())
 
     def exact_flow_indices(self) -> np.ndarray:
         """Indices of flows whose path is known exactly.
@@ -176,13 +525,14 @@ class InferenceProblem:
         return np.nonzero(self.exact)[0]
 
     def flow_pathset_size(self, flow: int) -> int:
-        return len(self.flow_paths[flow])
+        return int(self.flow_off[flow + 1] - self.flow_off[flow])
 
     def describe(self) -> str:
         """One-line summary, handy in logs and experiment reports."""
+        observed = int(np.count_nonzero(np.diff(self._comp_flow_bounds)))
         return (
             f"InferenceProblem(flows={self.total_flows} grouped to "
             f"{self.n_flows}, paths={self.n_paths}, "
-            f"components={len(self.flows_by_comp)} observed of "
+            f"components={observed} observed of "
             f"{self.n_components})"
         )

@@ -118,11 +118,13 @@ class ProblemCache:
 
     Keyed by the *effective* telemetry config (after the per-flow
     analysis override), so e.g. ``Flock (A2)`` and ``007 (A2)`` share
-    one build.  Distinct specs still share work: one
-    :class:`~repro.telemetry.inputs.PathMemo` per cache reuses
-    path-component lookups across every build of the trace.  Records
-    the original build time with each entry so cache hits still report
-    the cost of constructing their problem.
+    one build.  Distinct specs still share work: columnar traces carry
+    a shared :class:`~repro.routing.paths.PathSpace` whose memoized
+    component projections serve every build of the trace (and every
+    trace of the batch); records-only traces get one
+    :class:`~repro.telemetry.inputs.PathMemo` per cache for the same
+    purpose.  Records the original build time with each entry so cache
+    hits still report the cost of constructing their problem.
     """
 
     def __init__(self) -> None:

@@ -2,12 +2,14 @@
 
 A :class:`Trace` bundles everything one experiment repetition needs:
 the topology and routing, the injected ground truth, and the simulated
-flow records that telemetry inputs are derived from.
+flows that telemetry inputs are derived from.  Simulation is columnar
+end to end (:class:`~repro.types.FlowBatch`); ``trace.records``
+materializes the object-pipeline view lazily for legacy consumers
+(the agent/collector path, dataset serialization, diagnostics).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -17,25 +19,59 @@ from ..routing.ecmp import EcmpRouting
 from ..simulation.failures import FailureScenario, Injection
 from ..simulation.flowsim import FlowLevelSimulator
 from ..topology.base import Topology
-from ..traffic.flows import FlowSpec, generate_passive_flows
+from ..traffic.flows import SpecBatch, generate_passive_flow_batch
 from ..traffic.matrix import SkewedTraffic, TrafficMatrix, UniformTraffic
-from ..traffic.probes import a1_probe_plan
-from ..types import FlowRecord, GroundTruth
+from ..traffic.probes import a1_probe_batch
+from ..types import FlowBatch, FlowRecord, GroundTruth
 
 UNIFORM = "uniform"
 SKEWED = "skewed"
 
 
-@dataclass
 class Trace:
-    """One simulated monitoring interval."""
+    """One simulated monitoring interval.
 
-    topology: Topology
-    routing: EcmpRouting
-    injection: Injection
-    records: List[FlowRecord]
-    seed: int
-    meta: Dict = field(default_factory=dict)
+    Holds either the columnar ``batch`` (the native representation the
+    simulator produces), a ``records`` list (legacy construction, e.g.
+    deserialized datasets), or both.  ``records`` is a property: when
+    only the batch exists, the object view is materialized on first
+    access and cached, so legacy consumers pay the per-record cost only
+    if they actually iterate records.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: EcmpRouting,
+        injection: Injection,
+        records: Optional[List[FlowRecord]] = None,
+        seed: int = 0,
+        meta: Optional[Dict] = None,
+        batch: Optional[FlowBatch] = None,
+    ) -> None:
+        if records is None and batch is None:
+            raise ExperimentError("a trace needs flow records or a flow batch")
+        self.topology = topology
+        self.routing = routing
+        self.injection = injection
+        self.seed = seed
+        self.meta = {} if meta is None else meta
+        self.batch = batch
+        self._records = records
+
+    @property
+    def records(self) -> List[FlowRecord]:
+        """Object-pipeline view of the trace's flows (lazy, cached)."""
+        if self._records is None:
+            self._records = self.batch.records()
+        return self._records
+
+    @property
+    def n_flows(self) -> int:
+        """Flow count without materializing the record view."""
+        if self.batch is not None:
+            return len(self.batch)
+        return len(self._records)
 
     @property
     def ground_truth(self) -> GroundTruth:
@@ -71,32 +107,38 @@ def make_trace(
     """Inject a scenario, generate traffic and probes, and simulate.
 
     ``traffic`` alternates between the paper's two patterns; section 6.3
-    runs half of all traces with each.
+    runs half of all traces with each.  The whole build is columnar:
+    flows never exist as per-record Python objects, and path ids come
+    from the routing's shared :class:`~repro.routing.paths.PathSpace`,
+    so interning work amortizes across every trace of the batch.
     """
     rng = np.random.default_rng(seed)
     injection = scenario.inject(topology, rng)
-    specs: List[FlowSpec] = []
+    space = routing.path_space()
+    batches: List[SpecBatch] = []
     if n_passive > 0:
         matrix = make_matrix(topology, traffic, rng)
-        specs.extend(
-            generate_passive_flows(
-                routing, matrix, n_passive, rng, mean_bytes=mean_flow_bytes
+        batches.append(
+            generate_passive_flow_batch(
+                routing, matrix, n_passive, rng, space,
+                mean_bytes=mean_flow_bytes,
             )
         )
     if n_probes > 0:
-        specs.extend(
-            a1_probe_plan(
-                topology, routing, n_probes, rng,
+        batches.append(
+            a1_probe_batch(
+                topology, routing, n_probes, rng, space,
                 packets_per_probe=packets_per_probe,
             )
         )
+    specs = SpecBatch.concat(batches) if batches else SpecBatch.empty(space)
     simulator = FlowLevelSimulator(topology)
-    records = simulator.simulate(specs, injection, rng)
+    batch = simulator.simulate_batch(specs, injection, rng)
     return Trace(
         topology=topology,
         routing=routing,
         injection=injection,
-        records=records,
+        batch=batch,
         seed=seed,
         meta={
             "traffic": traffic,

@@ -41,10 +41,27 @@ class EcmpRouting:
         self._max_paths = max_paths
         self._switch_cache: Dict[Tuple[int, int], Tuple[NodePath, ...]] = {}
         self._probe_cache: Dict[Tuple[int, int], Tuple[NodePath, ...]] = {}
+        self._path_space = None
 
     @property
     def topology(self) -> Topology:
         return self._topo
+
+    def path_space(self):
+        """The shared :class:`~repro.routing.paths.PathSpace` of this
+        routing instance.
+
+        Lazily created, then reused by every trace built over this
+        routing - path and path-set ids are assigned once per
+        (topology, routing) pair and persist across traces, which is
+        what makes the columnar pipeline's interning cost amortize to
+        zero over an experiment's trace batch.
+        """
+        if self._path_space is None:
+            from .paths import PathSpace
+
+            self._path_space = PathSpace(self._topo, self)
+        return self._path_space
 
     # ------------------------------------------------------------------
     # Switch-level path sets

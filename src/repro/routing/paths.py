@@ -6,13 +6,52 @@ Interning them gives (a) compact integer handles that the vectorized
 inference kernels can index with, and (b) the memoization substrate the
 paper's JLE counters rely on ("the effect on a flow's likelihood depends
 only on the number of failed paths, not the specific failed links").
+
+Two layers live here:
+
+* :class:`PathTable` / :class:`PathSetTable` - the per-problem interning
+  tables the inference kernels index with (local, first-seen ids).
+* :class:`PathSpace` - the *global* interning space of the columnar
+  trace pipeline: node paths, node path sets, and their component
+  projections are assigned stable integer ids once per (topology,
+  routing) pair and reused across every trace and telemetry build that
+  shares it.  All hot lookups are dense numpy array gathers, so the
+  per-flow cost of path handling is a vectorized index instead of a
+  tuple hash.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..routing.ecmp import EcmpRouting
+    from ..topology.base import Topology
 
 ComponentPath = Tuple[int, ...]
+
+
+def first_seen_ids(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Dense ids for ``values``, numbered in first-appearance order.
+
+    Returns ``(ordered_unique, ids)`` where ``ordered_unique[k]`` is
+    the k-th distinct value to appear and ``ids[i]`` its number for row
+    ``i``.  This reproduces the insertion order of a dict-based intern
+    loop as one vectorized pass - the load-bearing equivalence between
+    the columnar pipeline and the object pipeline's first-seen
+    interning/grouping, so every call site shares this one
+    implementation.
+    """
+    uniq, first_idx, inverse = np.unique(
+        values, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[order] = np.arange(len(uniq), dtype=np.int64)
+    return uniq[order], rank[inverse]
 
 
 class PathTable:
@@ -27,7 +66,15 @@ class PathTable:
 
     def intern(self, components: Sequence[int]) -> int:
         """Return the id for this component set, creating it if new."""
-        key = tuple(sorted(set(components)))
+        return self.intern_canonical(tuple(sorted(set(components))))
+
+    def intern_canonical(self, key: ComponentPath) -> int:
+        """Intern an already sorted, de-duplicated component tuple.
+
+        The columnar problem builder feeds tuples straight from the
+        global :class:`PathSpace` (canonical by construction), skipping
+        the per-path re-sort of :meth:`intern`.
+        """
         existing = self._index.get(key)
         if existing is not None:
             return existing
@@ -71,3 +118,325 @@ class PathSetTable:
 
     def __iter__(self):
         return iter(self._sets)
+
+
+class _DenseCache:
+    """A growable int64 array mapping dense ids to dense ids (-1 = miss).
+
+    Reads never mutate; fills happen under the owning space's lock, so
+    concurrent readers at worst see a stale array and recompute (fills
+    are pure functions of stable ids).
+    """
+
+    __slots__ = ("_arr",)
+
+    def __init__(self) -> None:
+        self._arr = np.full(64, -1, dtype=np.int64)
+
+    def _gather(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        arr = self._arr
+        out = np.full(len(keys), -1, dtype=np.int64)
+        in_range = keys < len(arr)
+        out[in_range] = arr[keys[in_range]]
+        return out, arr
+
+    def lookup(self, keys: np.ndarray, fill, lock) -> np.ndarray:
+        """Vectorized gather; ``fill(key)`` computes each distinct miss."""
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.int64)
+        out, _ = self._gather(keys)
+        if np.any(out < 0):
+            with lock:
+                size = int(keys.max()) + 1
+                arr = self._arr
+                if size > len(arr):
+                    grown = np.full(max(size, 2 * len(arr)), -1, dtype=np.int64)
+                    grown[: len(arr)] = arr
+                    self._arr = arr = grown
+                out = arr[keys]
+                # dict.fromkeys dedups without numpy's per-call unique
+                # overhead (lookups are often tiny per-set arrays).
+                for key in dict.fromkeys(keys[out < 0].tolist()):
+                    arr[key] = fill(key)
+                out = arr[keys]
+        return out
+
+
+class PathSpace:
+    """Global interning space for one (topology, routing) pair.
+
+    Node paths get dense ids (*pids*), node path sets dense ids
+    (*sids*), and their component projections dense ids (*gids* for a
+    single component path, *gsids* for an ordered component path set).
+    The projections are memoized per ``include_devices`` flag, so e.g.
+    the INT build of a trace resolves every chosen path once and the
+    A1/A2/P builds of the same trace find them already cached - the
+    array-level analogue of the object pipeline's
+    :class:`~repro.telemetry.inputs.PathMemo`.
+
+    The space is owned by a trace's :class:`~repro.types.FlowBatch` and
+    shared by every telemetry/problem build of that trace; all ids are
+    stable for the lifetime of the space, which is what lets the runner
+    reuse them across traces of the same (topology, telemetry spec).
+    """
+
+    def __init__(self, topology: "Topology", routing: "EcmpRouting") -> None:
+        self.topology = topology
+        self.routing = routing
+        # Node paths and node path sets.
+        self._paths: List[Tuple[int, ...]] = []
+        self._path_index: Dict[Tuple[int, ...], int] = {}
+        self._sets: List[np.ndarray] = []
+        self._set_index: Dict[Tuple[int, ...], int] = {}
+        self._pair_sid: Dict[Tuple[int, int], int] = {}
+        # Component projections (shared id space across device flags).
+        self._comp_paths: List[ComponentPath] = []
+        self._comp_index: Dict[ComponentPath, int] = {}
+        self._comp_sets: List[np.ndarray] = []
+        self._comp_set_index: Dict[Tuple[int, ...], int] = {}
+        # Dense memo arrays, one trio per include_devices flag.
+        self._pid_gid = (_DenseCache(), _DenseCache())
+        self._pid_gsid = (_DenseCache(), _DenseCache())
+        self._sid_gsid = (_DenseCache(), _DenseCache())
+        # Per-pid link ids as CSR, grown lazily (see :meth:`link_csr`).
+        self._link_flat: List[int] = []
+        self._link_off: List[int] = [0]
+        self._link_hwm = 0
+        self._link_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # Per-gid component ids as CSR (see :meth:`comp_csr`).
+        self._cc_flat: List[int] = []
+        self._cc_off: List[int] = [0]
+        self._cc_hwm = 0
+        self._cc_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # A space is shared by every trace of a (topology, routing) pair;
+        # under the thread executor two trace units may intern
+        # concurrently.  Lookups are GIL-atomic dict reads; only the
+        # miss paths take this lock.
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Node paths and path sets
+    # ------------------------------------------------------------------
+    @property
+    def n_paths(self) -> int:
+        return len(self._paths)
+
+    @property
+    def n_sets(self) -> int:
+        return len(self._sets)
+
+    def intern_path(self, nodes: Sequence[int]) -> int:
+        key = tuple(nodes)
+        pid = self._path_index.get(key)
+        if pid is None:
+            with self._lock:
+                pid = self._path_index.get(key)
+                if pid is None:
+                    pid = len(self._paths)
+                    self._paths.append(key)
+                    self._path_index[key] = pid
+        return pid
+
+    def path_nodes(self, pid: int) -> Tuple[int, ...]:
+        return self._paths[pid]
+
+    def intern_set(self, paths: Sequence[Sequence[int]]) -> int:
+        """Intern an *ordered* sequence of node paths; order is
+        preserved (the simulator's per-set ECMP choice indexes into
+        it).  Callers with repeat lookups memoize the sid themselves
+        (:meth:`pair_set`), so this always re-derives the pid key."""
+        pids = tuple(self.intern_path(p) for p in paths)
+        sid = self._set_index.get(pids)
+        if sid is None:
+            with self._lock:
+                sid = self._set_index.get(pids)
+                if sid is None:
+                    sid = len(self._sets)
+                    self._sets.append(np.asarray(pids, dtype=np.int64))
+                    self._set_index[pids] = sid
+        return sid
+
+    def set_path_ids(self, sid: int) -> np.ndarray:
+        """Path ids of a node path set, in interned order."""
+        return self._sets[sid]
+
+    def pair_set(self, src: int, dst: int) -> int:
+        """The interned ECMP path set for a host pair."""
+        key = (src, dst)
+        sid = self._pair_sid.get(key)
+        if sid is None:
+            with self._lock:
+                sid = self._pair_sid.get(key)
+                if sid is None:
+                    sid = self.intern_set(self.routing.host_paths(src, dst))
+                    self._pair_sid[key] = sid
+        return sid
+
+    def pair_sets(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`pair_set` over aligned host arrays."""
+        if len(src) == 0:
+            return np.empty(0, dtype=np.int64)
+        packed = src.astype(np.int64) * np.int64(self.topology.n_nodes) + dst
+        uniq, inverse = np.unique(packed, return_inverse=True)
+        n_nodes = self.topology.n_nodes
+        sids = np.fromiter(
+            (self.pair_set(int(key) // n_nodes, int(key) % n_nodes) for key in uniq),
+            dtype=np.int64,
+            count=len(uniq),
+        )
+        return sids[inverse]
+
+    # ------------------------------------------------------------------
+    # Component projections
+    # ------------------------------------------------------------------
+    @property
+    def n_comp_paths(self) -> int:
+        return len(self._comp_paths)
+
+    def intern_components(self, components: Sequence[int]) -> int:
+        key = tuple(sorted(set(components)))
+        gid = self._comp_index.get(key)
+        if gid is None:
+            with self._lock:
+                gid = self._comp_index.get(key)
+                if gid is None:
+                    gid = len(self._comp_paths)
+                    self._comp_paths.append(key)
+                    self._comp_index[key] = gid
+        return gid
+
+    def comp_path(self, gid: int) -> ComponentPath:
+        """Sorted, de-duplicated component tuple of one component path."""
+        return self._comp_paths[gid]
+
+    def intern_comp_set(self, gids: Sequence[int]) -> int:
+        key = tuple(gids)
+        gsid = self._comp_set_index.get(key)
+        if gsid is None:
+            with self._lock:
+                gsid = self._comp_set_index.get(key)
+                if gsid is None:
+                    gsid = len(self._comp_sets)
+                    self._comp_sets.append(np.asarray(key, dtype=np.int64))
+                    self._comp_set_index[key] = gsid
+        return gsid
+
+    def comp_set(self, gsid: int) -> np.ndarray:
+        """Component-path ids of one component path set (ordered, with
+        multiplicity - two ECMP node paths may share a projection)."""
+        return self._comp_sets[gsid]
+
+    def _project_path(self, pid: int, include_devices: bool) -> int:
+        comps = self.topology.path_components(self._paths[pid], include_devices)
+        return self.intern_components(comps)
+
+    def path_gids(self, pids: np.ndarray, include_devices: bool) -> np.ndarray:
+        """Component-path id of each node path (vectorized, memoized)."""
+        cache = self._pid_gid[int(include_devices)]
+        return cache.lookup(
+            pids, lambda pid: self._project_path(pid, include_devices), self._lock
+        )
+
+    def exact_gsids(self, pids: np.ndarray, include_devices: bool) -> np.ndarray:
+        """Component path-*set* id of each exactly-known node path."""
+        cache = self._pid_gsid[int(include_devices)]
+
+        def fill(pid: int) -> int:
+            gid = self._project_path(pid, include_devices)
+            return self.intern_comp_set((gid,))
+
+        return cache.lookup(pids, fill, self._lock)
+
+    def set_gsids(self, sids: np.ndarray, include_devices: bool) -> np.ndarray:
+        """Component path-set id of each node path set."""
+        cache = self._sid_gsid[int(include_devices)]
+
+        def fill(sid: int) -> int:
+            pids = self._sets[sid]
+            gids = self.path_gids(pids, include_devices)
+            return self.intern_comp_set(gids.tolist())
+
+        return cache.lookup(sids, fill, self._lock)
+
+    # ------------------------------------------------------------------
+    # Per-path link ids (used by the vectorized simulator and latency
+    # model: drop probabilities and flap crossings are per-pid facts).
+    # ------------------------------------------------------------------
+    def path_link_ids(self, pid: int) -> Tuple[int, ...]:
+        """Link ids along a node path, hop by hop (with multiplicity)."""
+        nodes = self._paths[pid]
+        link_id = self.topology.link_id
+        return tuple(link_id(u, v) for u, v in zip(nodes, nodes[1:]))
+
+    def comp_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR of component ids per component path, covering every gid.
+
+        The columnar problem builder gathers local path tables straight
+        out of these arrays instead of iterating component tuples.
+        """
+        with self._lock:
+            n = len(self._comp_paths)
+            if self._cc_hwm < n:
+                for gid in range(self._cc_hwm, n):
+                    comps = self._comp_paths[gid]
+                    self._cc_flat.extend(comps)
+                    self._cc_off.append(self._cc_off[-1] + len(comps))
+                self._cc_hwm = n
+                self._cc_arrays = None
+            if self._cc_arrays is None:
+                self._cc_arrays = (
+                    np.asarray(self._cc_flat, dtype=np.int64),
+                    np.asarray(self._cc_off, dtype=np.int64),
+                )
+            return self._cc_arrays
+
+    def link_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR of link ids per node path, covering every interned pid.
+
+        Link ids are pure topology facts, so the CSR is grown once per
+        new path and reused across traces - the simulator computes all
+        per-path drop probabilities of a trace with one vectorized
+        reduce over it.
+        """
+        with self._lock:
+            n = len(self._paths)
+            if self._link_hwm < n:
+                for pid in range(self._link_hwm, n):
+                    links = self.path_link_ids(pid)
+                    self._link_flat.extend(links)
+                    self._link_off.append(self._link_off[-1] + len(links))
+                self._link_hwm = n
+                self._link_arrays = None
+            if self._link_arrays is None:
+                self._link_arrays = (
+                    np.asarray(self._link_flat, dtype=np.int64),
+                    np.asarray(self._link_off, dtype=np.int64),
+                )
+            return self._link_arrays
+
+    def paths_cross_links(
+        self, pids: np.ndarray, links: Iterable[int]
+    ) -> np.ndarray:
+        """Boolean per pid in ``pids``: does the path cross any of
+        ``links``?  One whole-array pass over the link CSR."""
+        link_arr = np.asarray(sorted(set(links)), dtype=np.int64)
+        if len(link_arr) == 0 or len(pids) == 0:
+            return np.zeros(len(pids), dtype=bool)
+        flat_links, link_off = self.link_csr()
+        crossed = np.zeros(len(link_off) - 1, dtype=bool)
+        nonempty = np.diff(link_off) > 0
+        if len(flat_links) and np.any(nonempty):
+            hit = np.isin(flat_links, link_arr).astype(np.int64)
+            crossed[nonempty] = (
+                np.add.reduceat(hit, link_off[:-1][nonempty]) > 0
+            )
+        return crossed[pids]

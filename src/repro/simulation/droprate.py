@@ -8,7 +8,7 @@ rate "chosen uniformly at random between 0.1% and 1%".
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
@@ -34,6 +34,16 @@ class DropRatePlan:
             raise SimulationError("drop rates must be probabilities")
         self._topo = topology
         self._rates = rates
+        # Per-plan memo of path drop probabilities for the scalar API.
+        # A plan is immutable (``with_rates`` returns a fresh plan), so
+        # the cache is valid for the plan's lifetime - i.e. per
+        # injection.  The columnar simulator computes all path
+        # probabilities in one vectorized pass instead
+        # (:func:`repro.simulation.flowsim._all_path_drop_probs`, which
+        # is asserted bit-identical to this scalar fold); the memo
+        # serves scalar callers, which may price the same path many
+        # times per trace.
+        self._path_prob_cache: Dict[Tuple[int, ...], float] = {}
 
     @property
     def rates(self) -> np.ndarray:
@@ -60,13 +70,19 @@ class DropRatePlan:
         """Drop probability of a node-sequence path: 1 - prod(1 - p_l).
 
         Repeated link traversals (probe bounce paths) multiply twice, as
-        a real bounced packet crosses the link twice.
+        a real bounced packet crosses the link twice.  Memoized per
+        path for the plan's lifetime.
         """
-        nodes = list(nodes)
+        key = tuple(nodes)
+        cached = self._path_prob_cache.get(key)
+        if cached is not None:
+            return cached
         survive = 1.0
-        for u, v in zip(nodes, nodes[1:]):
+        for u, v in zip(key, key[1:]):
             survive *= 1.0 - self._rates[self._topo.link_id(u, v)]
-        return 1.0 - survive
+        prob = 1.0 - survive
+        self._path_prob_cache[key] = prob
+        return prob
 
 
 def good_link_rates(

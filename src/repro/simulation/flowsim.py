@@ -11,6 +11,17 @@ the ECMP set (the routing model of Eq. 1), computes the path's drop
 probability from the per-link plan, draws the number of bad packets from
 a binomial, and (when a latency model is present) samples an RTT.  Flows
 are grouped by shared path set so the binomial draws vectorize.
+
+The native unit of work is the columnar :meth:`FlowLevelSimulator
+.simulate_batch`: path sets arrive interned (a
+:class:`~repro.traffic.flows.SpecBatch`), grouping is an ``np.unique``
+over set ids, per-path drop probabilities are memoized per injection by
+interned path id, and the result is a struct-of-arrays
+:class:`~repro.types.FlowBatch` - no per-record Python anywhere on the
+hot path.  :meth:`FlowLevelSimulator.simulate` is the object-API
+adapter: it columnarizes the specs, runs the same batch kernel (the RNG
+stream is identical), and materializes :class:`~repro.types.FlowRecord`
+objects.
 """
 
 from __future__ import annotations
@@ -19,10 +30,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..routing.paths import PathSpace, first_seen_ids
 from ..topology.base import Topology
-from ..traffic.flows import FlowSpec
-from ..types import FlowRecord
+from ..traffic.flows import FlowSpec, SpecBatch
+from ..types import FlowBatch, FlowRecord
 from .failures import Injection
 
 
@@ -32,65 +43,122 @@ class FlowLevelSimulator:
     def __init__(self, topology: Topology) -> None:
         self._topo = topology
 
+    def simulate_batch(
+        self,
+        specs: SpecBatch,
+        injection: Injection,
+        rng: np.random.Generator,
+    ) -> FlowBatch:
+        """Run a columnar spec batch and return a columnar trace.
+
+        Flows group by interned path-set id (first-seen order, matching
+        the object pipeline's grouping and hence its RNG stream); each
+        group draws one vectorized ECMP choice and one vectorized
+        binomial.  Path drop probabilities are computed once per
+        distinct path id per injection.
+        """
+        space = specs.space
+        plan = injection.plan
+        n = len(specs)
+        packets = specs.packets
+        bad = np.zeros(n, dtype=np.int64)
+        chosen = np.zeros(n, dtype=np.int64)
+
+        if n:
+            sids, order, offsets = _first_seen_groups(specs.path_set)
+            probs_by_pid = _all_path_drop_probs(space, plan)
+            for g, sid in enumerate(sids.tolist()):
+                idx = order[offsets[g]:offsets[g + 1]]
+                set_pids = space.set_path_ids(sid)
+                drop_probs = probs_by_pid[set_pids]
+                choice = rng.integers(0, len(set_pids), size=len(idx))
+                bad[idx] = rng.binomial(packets[idx], drop_probs[choice])
+                chosen[idx] = set_pids[choice]
+
+        if injection.latency_model is not None:
+            crosses = space.paths_cross_links(chosen, injection.flapped_links)
+            rtts = injection.latency_model.sample_rtts_masked(crosses, rng)
+        else:
+            rtts = np.zeros(n)
+
+        return FlowBatch(
+            space=space,
+            src=specs.src,
+            dst=specs.dst,
+            packets=packets,
+            bad=bad,
+            rtt_ms=rtts,
+            is_probe=specs.is_probe,
+            path_set=specs.path_set,
+            chosen_path=chosen,
+        )
+
     def simulate(
         self,
         specs: Sequence[FlowSpec],
         injection: Injection,
         rng: np.random.Generator,
+        space: Optional[PathSpace] = None,
     ) -> List[FlowRecord]:
-        """Run all specs and return one :class:`FlowRecord` per flow."""
+        """Run object specs and return one :class:`FlowRecord` per flow.
+
+        Adapter over :meth:`simulate_batch`; results are bit-identical
+        to the historical per-record implementation at fixed seeds.
+        """
         if not specs:
             return []
-        plan = injection.plan
+        if space is None:
+            from ..routing.ecmp import EcmpRouting
 
-        # Group flows by their (shared, interned) path set so that path
-        # drop probabilities are computed once per distinct set.
-        groups: Dict[Tuple[Tuple[int, ...], ...], List[int]] = {}
-        for i, spec in enumerate(specs):
-            groups.setdefault(spec.paths, []).append(i)
-
-        n = len(specs)
-        packets = np.fromiter(
-            (spec.packets for spec in specs), dtype=np.int64, count=n
+            space = PathSpace(self._topo, EcmpRouting(self._topo))
+        batch = self.simulate_batch(
+            SpecBatch.from_specs(specs, space), injection, rng
         )
-        bad = np.zeros(n, dtype=np.int64)
-        chosen_paths: List[Optional[Tuple[int, ...]]] = [None] * n
+        return batch.records()
 
-        for paths, indices in groups.items():
-            drop_probs = np.asarray(
-                [plan.path_drop_probability(path) for path in paths]
-            )
-            idx = np.asarray(indices, dtype=np.int64)
-            choice = rng.integers(0, len(paths), size=len(idx))
-            probs = drop_probs[choice]
-            bad[idx] = rng.binomial(packets[idx], probs)
-            for local, flow_idx in enumerate(indices):
-                chosen_paths[flow_idx] = paths[choice[local]]
 
-        if injection.latency_model is not None:
-            rtts = injection.latency_model.sample_rtts(
-                self._topo, chosen_paths, injection.flapped_links, rng
-            )
-        else:
-            rtts = np.zeros(n)
+def _all_path_drop_probs(space: PathSpace, plan) -> np.ndarray:
+    """Drop probability of every interned path, one vectorized pass.
 
-        records: List[FlowRecord] = []
-        for i, spec in enumerate(specs):
-            path = chosen_paths[i]
-            if path is None:  # pragma: no cover - defensive
-                raise SimulationError("flow was not assigned a path")
-            records.append(
-                FlowRecord(
-                    src=spec.src,
-                    dst=spec.dst,
-                    packets_sent=int(packets[i]),
-                    bad_packets=int(bad[i]),
-                    path=path,
-                    rtt_ms=float(rtts[i]),
-                    is_probe=spec.is_probe,
-                )
-            )
-        return records
+    ``np.multiply.reduceat`` folds each CSR segment left to right, so
+    the result is bit-identical to the scalar
+    :meth:`~repro.simulation.droprate.DropRatePlan.path_drop_probability`
+    loop over the same hop order.
+    """
+    flat_links, link_off = space.link_csr()
+    n_paths = len(link_off) - 1
+    probs = np.zeros(n_paths)
+    if n_paths == 0 or len(flat_links) == 0:
+        return probs
+    seg = 1.0 - plan.rates[flat_links]
+    # Fold only non-empty segments: their starts are strictly
+    # increasing and in bounds, and skipped (hop-less) paths occupy
+    # zero width between them, so each fold covers exactly one path's
+    # hops.  Hop-less paths keep drop probability 0.
+    nonempty = np.diff(link_off) > 0
+    if np.any(nonempty):
+        survive = np.multiply.reduceat(seg, link_off[:-1][nonempty])
+        probs[nonempty] = 1.0 - survive
+    return probs
+
+
+def _first_seen_groups(
+    values: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group equal values, numbering groups in first-appearance order.
+
+    Returns ``(group_values, order, offsets)``: ``order`` is a
+    permutation of row indices sorted by (group, original position), so
+    ``order[offsets[g]:offsets[g + 1]]`` selects group ``g``'s rows in
+    original order - the same iteration the object pipeline's
+    insertion-ordered dict grouping produced.
+    """
+    group_values, group_ids = first_seen_ids(values)
+    order = np.argsort(group_ids, kind="stable")
+    counts = np.bincount(group_ids, minlength=len(group_values))
+    offsets = np.zeros(len(group_values) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return group_values, order, offsets
 
 
 def empirical_link_loss(

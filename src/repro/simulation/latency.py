@@ -63,8 +63,6 @@ class LatencyModel:
     ) -> np.ndarray:
         """Sample one RTT (ms) per flow given each flow's actual path."""
         n = len(paths)
-        mu = np.log(self.base_rtt_ms)
-        rtts = rng.lognormal(mean=mu, sigma=self.base_sigma, size=n)
         crosses = np.zeros(n, dtype=bool)
         if flapped_links:
             for i, nodes in enumerate(paths):
@@ -72,6 +70,20 @@ class LatencyModel:
                     if topology.link_id(u, v) in flapped_links:
                         crosses[i] = True
                         break
+        return self.sample_rtts_masked(crosses, rng)
+
+    def sample_rtts_masked(
+        self, crosses: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample RTTs given a precomputed flap-crossing mask.
+
+        The columnar simulator resolves crossings per interned path id
+        (one lookup per distinct path, not per flow) and feeds the mask
+        here; the RNG stream is identical to :meth:`sample_rtts`.
+        """
+        n = len(crosses)
+        mu = np.log(self.base_rtt_ms)
+        rtts = rng.lognormal(mean=mu, sigma=self.base_sigma, size=n)
         spike_prob = np.where(
             crosses, self.flap_spike_prob, self.congestion_spike_prob
         )

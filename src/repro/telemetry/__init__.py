@@ -10,7 +10,9 @@ from .codec import (
 )
 from .collector import Collector, UdpCollectorServer
 from .inputs import (
+    ObservationBatch,
     TelemetryConfig,
+    build_observation_batch,
     build_observations,
     build_observations_from_reports,
 )
@@ -31,6 +33,8 @@ __all__ = [
     "Collector",
     "UdpCollectorServer",
     "TelemetryConfig",
+    "ObservationBatch",
+    "build_observation_batch",
     "build_observations",
     "build_observations_from_reports",
 ]

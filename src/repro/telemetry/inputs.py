@@ -30,13 +30,20 @@ import numpy as np
 
 from ..errors import TelemetryError
 from ..routing.ecmp import EcmpRouting
+from ..routing.paths import PathSpace
 from ..simulation.failures import PER_FLOW, PER_PACKET
 from ..simulation.latency import RTT_BAD_THRESHOLD_MS
 from ..topology.base import Topology
-from ..types import FlowObservation, FlowRecord, TelemetryKind
+from ..types import FlowBatch, FlowObservation, FlowRecord, TelemetryKind
 from .records import FlowReport
 
 _KIND_BY_NAME = {kind.value: kind for kind in TelemetryKind}
+
+#: Integer codes for the columnar pipeline's ``kind`` column.
+KIND_ORDER: Tuple[TelemetryKind, ...] = (
+    TelemetryKind.A1, TelemetryKind.A2, TelemetryKind.PASSIVE, TelemetryKind.INT,
+)
+KIND_CODE: Dict[TelemetryKind, int] = {k: i for i, k in enumerate(KIND_ORDER)}
 
 
 @dataclass(frozen=True)
@@ -294,3 +301,137 @@ def build_observations_from_reports(
                 )
             )
     return observations
+
+
+# ----------------------------------------------------------------------
+# Columnar pipeline
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ObservationBatch:
+    """Struct-of-arrays inference input: the columnar twin of a
+    ``List[FlowObservation]``.
+
+    ``path_set`` holds each observation's *component* path-set id
+    (``gsid``) in ``space``; ``bad``/``sent`` the counts under the
+    configured analysis mode; ``kind`` the :data:`KIND_ORDER` code.
+    Rows preserve simulator record order, exactly like the object
+    pipeline's observation list.
+    """
+
+    space: PathSpace
+    path_set: np.ndarray
+    bad: np.ndarray
+    sent: np.ndarray
+    kind: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.path_set)
+
+    def observations(self) -> List[FlowObservation]:
+        """Materialize object observations (adapter for diagnostics)."""
+        space = self.space
+        out: List[FlowObservation] = []
+        for gsid, bad, sent, code in zip(
+            self.path_set.tolist(), self.bad.tolist(), self.sent.tolist(),
+            self.kind.tolist(),
+        ):
+            gids = space.comp_set(gsid)
+            out.append(
+                FlowObservation(
+                    path_set=tuple(space.comp_path(int(g)) for g in gids),
+                    packets_sent=sent,
+                    bad_packets=bad,
+                    kind=KIND_ORDER[code],
+                )
+            )
+        return out
+
+
+def build_observation_batch(
+    batch: FlowBatch,
+    config: TelemetryConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> ObservationBatch:
+    """Columnar :func:`build_observations` over a simulated flow batch.
+
+    The A1/A2/P/INT composition and flagged-flow de-duplication are
+    boolean-mask algebra over the batch columns; path-component
+    resolution is one memoized gather per distinct path (set) id.  Row
+    order, retained rows, and the sampling RNG stream are identical to
+    the object pipeline's, which is what keeps the resulting
+    :class:`~repro.core.problem.InferenceProblem` bit-identical.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    space = batch.space
+    kinds = config.kinds
+    want_a1 = TelemetryKind.A1 in kinds
+    want_a2 = TelemetryKind.A2 in kinds
+    want_p = TelemetryKind.PASSIVE in kinds
+    want_int = TelemetryKind.INT in kinds
+    include_devices = config.include_devices
+    n = len(batch)
+
+    if config.analysis == PER_PACKET:
+        bad = batch.bad
+        sent = batch.packets
+    else:
+        bad = (batch.rtt_ms > config.rtt_threshold_ms).astype(np.int64)
+        sent = np.ones(n, dtype=np.int64)
+
+    probe = batch.is_probe
+    passive = ~probe
+    flagged = bad >= 1
+
+    keep = np.zeros(n, dtype=bool)
+    kind_code = np.zeros(n, dtype=np.int64)
+    exact = np.zeros(n, dtype=bool)
+
+    if want_a1 or want_int:
+        keep |= probe
+        exact |= probe
+        kind_code[probe] = KIND_CODE[TelemetryKind.A1]
+
+    if want_int:
+        keep |= passive
+        exact |= passive
+        kind_code[passive] = KIND_CODE[TelemetryKind.INT]
+        sampled = passive
+    else:
+        a2_rows = passive & flagged if want_a2 else np.zeros(n, dtype=bool)
+        p_rows = passive & ~a2_rows if want_p else np.zeros(n, dtype=bool)
+        keep |= a2_rows | p_rows
+        exact |= a2_rows
+        kind_code[a2_rows] = KIND_CODE[TelemetryKind.A2]
+        kind_code[p_rows] = KIND_CODE[TelemetryKind.PASSIVE]
+        sampled = p_rows
+
+    if config.passive_sampling < 1.0 and np.any(sampled):
+        # One uniform per row that reaches a sampling decision, in row
+        # order - the same stream the object pipeline's per-record
+        # ``rng.random()`` calls consume.
+        draws = rng.random(int(sampled.sum()))
+        keep[sampled] &= draws < config.passive_sampling
+
+    rows = np.nonzero(keep)[0]
+    gsid = np.empty(len(rows), dtype=np.int64)
+    exact_rows = exact[rows]
+    if np.any(exact_rows):
+        gsid[exact_rows] = space.exact_gsids(
+            batch.chosen_path[rows[exact_rows]], include_devices
+        )
+    if not np.all(exact_rows):
+        inexact = ~exact_rows
+        gsid[inexact] = space.set_gsids(
+            batch.path_set[rows[inexact]], include_devices
+        )
+
+    return ObservationBatch(
+        space=space,
+        path_set=gsid,
+        bad=bad[rows],
+        sent=sent[rows],
+        kind=kind_code[rows],
+    )

@@ -1,16 +1,25 @@
 """Traffic substrate: matrices, flow specs, and active probe plans."""
 
-from .flows import FlowSpec, generate_passive_flows, pareto_flow_packets
+from .flows import (
+    FlowSpec,
+    SpecBatch,
+    generate_passive_flow_batch,
+    generate_passive_flows,
+    pareto_flow_packets,
+)
 from .matrix import SkewedTraffic, TrafficMatrix, UniformTraffic
-from .probes import a1_probe_plan, probes_per_link_coverage
+from .probes import a1_probe_batch, a1_probe_plan, probes_per_link_coverage
 
 __all__ = [
     "FlowSpec",
+    "SpecBatch",
     "generate_passive_flows",
+    "generate_passive_flow_batch",
     "pareto_flow_packets",
     "TrafficMatrix",
     "UniformTraffic",
     "SkewedTraffic",
     "a1_probe_plan",
+    "a1_probe_batch",
     "probes_per_link_coverage",
 ]

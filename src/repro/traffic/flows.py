@@ -14,6 +14,7 @@ import numpy as np
 
 from ..errors import TrafficError
 from ..routing.ecmp import EcmpRouting
+from ..routing.paths import PathSpace
 from .matrix import TrafficMatrix
 
 MSS_BYTES = 1500
@@ -38,6 +39,92 @@ class FlowSpec:
             raise TrafficError("a flow must send at least one packet")
         if not self.paths:
             raise TrafficError("a flow needs a non-empty path set")
+
+
+@dataclass
+class SpecBatch:
+    """Struct-of-arrays flow specs: the columnar twin of a
+    ``List[FlowSpec]``.
+
+    ``path_set`` holds each flow's interned ECMP candidate-set id
+    (resolved against ``space``); the simulator picks the actual path
+    per flow from it.  Batches concatenate (passive flows + probes)
+    with :meth:`concat`, preserving order.
+    """
+
+    space: PathSpace
+    src: np.ndarray
+    dst: np.ndarray
+    packets: np.ndarray
+    path_set: np.ndarray
+    is_probe: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    @staticmethod
+    def empty(space: PathSpace) -> "SpecBatch":
+        zero = np.empty(0, dtype=np.int64)
+        return SpecBatch(
+            space=space, src=zero, dst=zero.copy(), packets=zero.copy(),
+            path_set=zero.copy(), is_probe=np.empty(0, dtype=bool),
+        )
+
+    @staticmethod
+    def concat(batches: List["SpecBatch"]) -> "SpecBatch":
+        if not batches:
+            raise TrafficError("cannot concatenate zero spec batches")
+        space = batches[0].space
+        for other in batches[1:]:
+            if other.space is not space:
+                raise TrafficError(
+                    "spec batches must share one PathSpace to concatenate"
+                )
+        return SpecBatch(
+            space=space,
+            src=np.concatenate([b.src for b in batches]),
+            dst=np.concatenate([b.dst for b in batches]),
+            packets=np.concatenate([b.packets for b in batches]),
+            path_set=np.concatenate([b.path_set for b in batches]),
+            is_probe=np.concatenate([b.is_probe for b in batches]),
+        )
+
+    @staticmethod
+    def from_specs(specs, space: PathSpace) -> "SpecBatch":
+        """Columnarize object specs (the object-API adapter)."""
+        n = len(specs)
+        return SpecBatch(
+            space=space,
+            src=np.fromiter((s.src for s in specs), dtype=np.int64, count=n),
+            dst=np.fromiter((s.dst for s in specs), dtype=np.int64, count=n),
+            packets=np.fromiter(
+                (s.packets for s in specs), dtype=np.int64, count=n
+            ),
+            path_set=np.fromiter(
+                (space.intern_set(s.paths) for s in specs),
+                dtype=np.int64,
+                count=n,
+            ),
+            is_probe=np.fromiter(
+                (s.is_probe for s in specs), dtype=bool, count=n
+            ),
+        )
+
+    def specs(self) -> List[FlowSpec]:
+        """Materialize object specs (legacy consumers and tests)."""
+        path_nodes = self.space.path_nodes
+        set_path_ids = self.space.set_path_ids
+        out: List[FlowSpec] = []
+        for src, dst, packets, sid, probe in zip(
+            self.src.tolist(), self.dst.tolist(), self.packets.tolist(),
+            self.path_set.tolist(), self.is_probe.tolist(),
+        ):
+            paths = tuple(path_nodes(int(p)) for p in set_path_ids(sid))
+            out.append(
+                FlowSpec(src=src, dst=dst, packets=packets, paths=paths,
+                         is_probe=bool(probe))
+            )
+        return out
 
 
 def pareto_flow_packets(
@@ -91,3 +178,37 @@ def generate_passive_flows(
         paths = routing.host_paths(src, dst)
         specs.append(FlowSpec(src=src, dst=dst, packets=size, paths=paths))
     return specs
+
+
+def generate_passive_flow_batch(
+    routing: EcmpRouting,
+    matrix: TrafficMatrix,
+    n_flows: int,
+    rng: np.random.Generator,
+    space: PathSpace,
+    mean_bytes: float = 200_000.0,
+    shape: float = 1.05,
+    fixed_packets: Optional[int] = None,
+) -> SpecBatch:
+    """Columnar :func:`generate_passive_flows`: identical RNG draws,
+    but path sets are resolved once per distinct host pair and flows
+    land in aligned arrays instead of per-flow objects."""
+    if n_flows < 0:
+        raise TrafficError("n_flows must be non-negative")
+    src, dst = matrix.sample_pair_arrays(n_flows, rng)
+    if fixed_packets is not None:
+        packets = np.full(n_flows, fixed_packets, dtype=np.int64)
+    else:
+        packets = pareto_flow_packets(rng, n_flows, mean_bytes, shape)
+    if n_flows == 0:
+        return SpecBatch.empty(space)
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    return SpecBatch(
+        space=space,
+        src=src,
+        dst=dst,
+        packets=packets,
+        path_set=space.pair_sets(src, dst),
+        is_probe=np.zeros(n_flows, dtype=bool),
+    )

@@ -16,10 +16,21 @@ from ..topology.base import Topology
 
 
 class TrafficMatrix:
-    """Base class: a sampler of (src_host, dst_host) pairs."""
+    """Base class: a sampler of (src_host, dst_host) pairs.
+
+    Subclasses implement :meth:`sample_pair_arrays` (the columnar form
+    the batch pipeline consumes); :meth:`sample_pairs` is the
+    object-API adapter and draws the identical RNG stream.
+    """
+
+    def sample_pair_arrays(
+        self, n: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
 
     def sample_pairs(self, n: int, rng: np.random.Generator) -> List[Tuple[int, int]]:
-        raise NotImplementedError
+        src, dst = self.sample_pair_arrays(n, rng)
+        return list(zip(src.tolist(), dst.tolist()))
 
 
 class UniformTraffic(TrafficMatrix):
@@ -30,14 +41,16 @@ class UniformTraffic(TrafficMatrix):
             raise TrafficError("uniform traffic needs at least two hosts")
         self._hosts = np.asarray(topology.hosts, dtype=np.int64)
 
-    def sample_pairs(self, n: int, rng: np.random.Generator) -> List[Tuple[int, int]]:
+    def sample_pair_arrays(
+        self, n: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
         src = self._hosts[rng.integers(0, len(self._hosts), size=n)]
         dst = self._hosts[rng.integers(0, len(self._hosts), size=n)]
         clash = src == dst
         while np.any(clash):
             dst[clash] = self._hosts[rng.integers(0, len(self._hosts), size=int(clash.sum()))]
             clash = src == dst
-        return list(zip(src.tolist(), dst.tolist()))
+        return src, dst
 
 
 class SkewedTraffic(TrafficMatrix):
@@ -78,7 +91,9 @@ class SkewedTraffic(TrafficMatrix):
         self._hot_fraction = hot_traffic_fraction
         self.hot_racks: Tuple[int, ...] = tuple(sorted(racks[i] for i in hot_racks))
 
-    def sample_pairs(self, n: int, rng: np.random.Generator) -> List[Tuple[int, int]]:
+    def sample_pair_arrays(
+        self, n: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
         hot = rng.random(n) < self._hot_fraction
         pool_sizes = np.where(hot, len(self._hot_hosts), len(self._all_hosts))
         src_idx = (rng.random(n) * pool_sizes).astype(np.int64)
@@ -99,4 +114,4 @@ class SkewedTraffic(TrafficMatrix):
             )
             dst[clash] = new_dst
             clash = src == dst
-        return list(zip(src.tolist(), dst.tolist()))
+        return src, dst

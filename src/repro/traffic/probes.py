@@ -20,8 +20,9 @@ import numpy as np
 
 from ..errors import TrafficError
 from ..routing.ecmp import EcmpRouting
+from ..routing.paths import PathSpace
 from ..topology.base import Topology
-from .flows import FlowSpec
+from .flows import FlowSpec, SpecBatch
 
 
 def a1_probe_plan(
@@ -71,6 +72,68 @@ def a1_probe_plan(
             )
         )
     return specs
+
+
+def a1_probe_batch(
+    topology: Topology,
+    routing: EcmpRouting,
+    n_probes: int,
+    rng: np.random.Generator,
+    space: PathSpace,
+    packets_per_probe: int = 40,
+    hosts: Optional[List[int]] = None,
+) -> SpecBatch:
+    """Columnar :func:`a1_probe_plan`: identical plan and RNG draws.
+
+    The round-robin arithmetic is closed-form - probe ``i`` uses pair
+    ``order[i % P]`` on ECMP rotation turn ``i // P`` - so the plan
+    vectorizes: pinned paths are interned once per distinct
+    (pair, rotation) combination instead of per probe.
+    """
+    if n_probes < 0:
+        raise TrafficError("n_probes must be non-negative")
+    if packets_per_probe < 1:
+        raise TrafficError("packets_per_probe must be >= 1")
+    probe_hosts = list(hosts) if hosts is not None else list(topology.hosts)
+    cores = list(topology.cores)
+    if not probe_hosts or not cores:
+        raise TrafficError("A1 probing needs at least one host and one core")
+    if n_probes == 0:
+        return SpecBatch.empty(space)
+
+    pairs = [(h, c) for h in probe_hosts for c in cores]
+    order = rng.permutation(len(pairs))
+    idx = np.arange(n_probes, dtype=np.int64)
+    pair_idx = order[idx % len(pairs)]
+    turn = idx // len(pairs)
+
+    # Enumerate ECMP fan-outs only for pairs the plan actually hits
+    # (a short plan on a large fabric touches few), like the object
+    # pipeline; unused entries stay 1 and are never indexed.
+    n_paths = np.ones(len(pairs), dtype=np.int64)
+    for i in np.unique(pair_idx).tolist():
+        n_paths[i] = len(routing.probe_paths(*pairs[i]))
+    choice = turn % n_paths[pair_idx]
+    combo = pair_idx * np.int64(int(n_paths.max())) + choice
+    uniq, inverse = np.unique(combo, return_inverse=True)
+    width = int(n_paths.max())
+
+    def pinned_sid(key: int) -> int:
+        host, core = pairs[key // width]
+        return space.intern_set((routing.probe_paths(host, core)[key % width],))
+
+    sids = np.fromiter(
+        (pinned_sid(int(key)) for key in uniq), dtype=np.int64, count=len(uniq)
+    )
+    pairs_arr = np.asarray(pairs, dtype=np.int64)
+    return SpecBatch(
+        space=space,
+        src=pairs_arr[pair_idx, 0],
+        dst=pairs_arr[pair_idx, 1],
+        packets=np.full(n_probes, packets_per_probe, dtype=np.int64),
+        path_set=sids[inverse],
+        is_probe=np.ones(n_probes, dtype=bool),
+    )
 
 
 def probes_per_link_coverage(topology: Topology, specs: List[FlowSpec]) -> float:

@@ -19,7 +19,12 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .routing.paths import PathSpace
 
 
 class ComponentKind(enum.Enum):
@@ -99,6 +104,109 @@ class FlowRecord:
         if self.packets_sent == 0:
             return 0.0
         return self.bad_packets / self.packets_sent
+
+
+@dataclass
+class FlowBatch:
+    """Struct-of-arrays trace: every :class:`FlowRecord` field as an
+    aligned numpy column.
+
+    This is the columnar twin of a ``List[FlowRecord]`` and the unit the
+    vectorized trace pipeline passes from the simulator to telemetry
+    construction.  Paths are interned: ``path_set`` holds each flow's
+    ECMP candidate-set id and ``chosen_path`` the node-path id the
+    simulator picked, both resolved against ``space``
+    (:class:`~repro.routing.paths.PathSpace`).  ``records()`` is the
+    object-pipeline adapter - it materializes the exact per-flow
+    records the legacy API produced, so baselines, the agent/collector
+    path, and the dataset serializer keep working unchanged.
+    """
+
+    space: "PathSpace"
+    src: np.ndarray
+    dst: np.ndarray
+    packets: np.ndarray
+    bad: np.ndarray
+    rtt_ms: np.ndarray
+    is_probe: np.ndarray
+    path_set: np.ndarray
+    chosen_path: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.src)
+        for name in ("dst", "packets", "bad", "rtt_ms", "is_probe",
+                     "path_set", "chosen_path"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name!r} is not aligned ({n} flows)")
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.src)
+
+    def record(self, i: int) -> "FlowRecord":
+        """Materialize one flow as an object-pipeline record."""
+        return FlowRecord(
+            src=int(self.src[i]),
+            dst=int(self.dst[i]),
+            packets_sent=int(self.packets[i]),
+            bad_packets=int(self.bad[i]),
+            path=self.space.path_nodes(int(self.chosen_path[i])),
+            rtt_ms=float(self.rtt_ms[i]),
+            is_probe=bool(self.is_probe[i]),
+        )
+
+    def records(self) -> List["FlowRecord"]:
+        """Materialize the whole batch as object-pipeline records."""
+        path_nodes = self.space.path_nodes
+        return [
+            FlowRecord(
+                src=src, dst=dst, packets_sent=sent, bad_packets=bad,
+                path=path_nodes(pid), rtt_ms=rtt, is_probe=bool(probe),
+            )
+            for src, dst, sent, bad, rtt, probe, pid in zip(
+                self.src.tolist(), self.dst.tolist(), self.packets.tolist(),
+                self.bad.tolist(), self.rtt_ms.tolist(), self.is_probe.tolist(),
+                self.chosen_path.tolist(),
+            )
+        ]
+
+    @staticmethod
+    def from_records(
+        records: Sequence["FlowRecord"], space: "PathSpace"
+    ) -> "FlowBatch":
+        """Columnarize object records (each record's exact path becomes
+        a singleton path set - the candidate sets are not recoverable)."""
+        n = len(records)
+        chosen = np.fromiter(
+            (space.intern_path(r.path) for r in records), dtype=np.int64, count=n
+        )
+        path_set = np.fromiter(
+            (space.intern_set((space.path_nodes(int(pid)),)) for pid in chosen),
+            dtype=np.int64,
+            count=n,
+        )
+        return FlowBatch(
+            space=space,
+            src=np.fromiter((r.src for r in records), dtype=np.int64, count=n),
+            dst=np.fromiter((r.dst for r in records), dtype=np.int64, count=n),
+            packets=np.fromiter(
+                (r.packets_sent for r in records), dtype=np.int64, count=n
+            ),
+            bad=np.fromiter(
+                (r.bad_packets for r in records), dtype=np.int64, count=n
+            ),
+            rtt_ms=np.fromiter(
+                (r.rtt_ms for r in records), dtype=np.float64, count=n
+            ),
+            is_probe=np.fromiter(
+                (r.is_probe for r in records), dtype=bool, count=n
+            ),
+            path_set=path_set,
+            chosen_path=chosen,
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,216 @@
+"""Columnar-vs-object pipeline equivalence.
+
+The struct-of-arrays trace pipeline (SpecBatch -> FlowBatch ->
+ObservationBatch -> InferenceProblem.from_batch) must be *bit-identical*
+to the object pipeline (FlowSpec -> FlowRecord -> FlowObservation ->
+from_observations) at fixed seeds: same simulated records, same problem
+arrays and indexes, and the same prediction from every registered
+scheme.  These tests sweep every registered failure scenario at the
+tiny preset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gibbs import GibbsInference
+from repro.core.params import DEFAULT_PER_PACKET
+from repro.core.problem import InferenceProblem
+from repro.eval.experiments import standard_topology
+from repro.eval.harness import build_problem
+from repro.eval.scenarios import Trace, make_trace
+from repro.eval.schemes import make_setup, scheme_names
+from repro.routing import EcmpRouting, PathSpace
+from repro.simulation import DropRatePlan, FlowLevelSimulator, SilentLinkDrops
+from repro.simulation.failures import make_scenario, scenario_names
+from repro.simulation.flowsim import _all_path_drop_probs
+from repro.telemetry import TelemetryConfig
+from repro.topology import fat_tree
+from repro.traffic import SpecBatch, UniformTraffic, generate_passive_flows
+
+
+def _strip_batch(trace: Trace) -> Trace:
+    """A records-only clone that forces the object pipeline."""
+    return Trace(
+        topology=trace.topology,
+        routing=trace.routing,
+        injection=trace.injection,
+        records=trace.records,
+        seed=trace.seed,
+        meta=dict(trace.meta),
+    )
+
+
+def _assert_problems_identical(col: InferenceProblem, obj: InferenceProblem):
+    assert col.flow_paths == obj.flow_paths
+    assert list(col.path_table) == list(obj.path_table)
+    assert np.array_equal(col.bad_packets, obj.bad_packets)
+    assert np.array_equal(col.packets_sent, obj.packets_sent)
+    assert np.array_equal(col.weights, obj.weights)
+    assert np.array_equal(col.exact, obj.exact)
+    assert col.kinds == obj.kinds
+    assert col.flows_by_comp == obj.flows_by_comp
+    assert col.paths_by_comp == obj.paths_by_comp
+    assert col.comps_by_flow == obj.comps_by_flow
+    assert col.observed_components == obj.observed_components
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    topo = standard_topology("tiny")
+    return topo, EcmpRouting(topo)
+
+
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_problem_identical_across_registered_scenarios(tiny_world, scenario_name):
+    topo, routing = tiny_world
+    scenario = make_scenario(scenario_name)
+    trace = make_trace(
+        topo, routing, scenario, seed=42, n_passive=1_200, n_probes=200,
+    )
+    object_trace = _strip_batch(trace)
+    for spec in ("A1+A2+P", "INT", "A2", "A1+P", "P"):
+        telemetry = TelemetryConfig.from_spec(spec)
+        col = build_problem(trace, telemetry)
+        obj = build_problem(object_trace, telemetry)
+        _assert_problems_identical(col, obj)
+
+
+@pytest.mark.parametrize("scenario_name", scenario_names())
+@pytest.mark.parametrize("scheme", scheme_names())
+def test_scheme_predictions_identical(tiny_world, scenario_name, scheme):
+    topo, routing = tiny_world
+    trace = make_trace(
+        topo, routing, make_scenario(scenario_name), seed=7,
+        n_passive=1_200, n_probes=200,
+    )
+    setup = make_setup(scheme)
+    col = build_problem(trace, setup.telemetry)
+    obj = build_problem(_strip_batch(trace), setup.telemetry)
+    pred_col = setup.localizer.localize(col)
+    pred_obj = setup.localizer.localize(obj)
+    assert pred_col.components == pred_obj.components
+    assert pred_col.scores == pred_obj.scores
+    assert pred_col.log_likelihood == pred_obj.log_likelihood
+
+
+def test_sampled_telemetry_identical(tiny_world):
+    topo, routing = tiny_world
+    trace = make_trace(
+        topo, routing, SilentLinkDrops(n_failures=1), seed=3,
+        n_passive=900, n_probes=150,
+    )
+    for spec in ("INT", "P", "A1+P"):
+        telemetry = TelemetryConfig.from_spec(spec, passive_sampling=0.4)
+        col = build_problem(trace, telemetry)
+        obj = build_problem(_strip_batch(trace), telemetry)
+        _assert_problems_identical(col, obj)
+
+
+def test_simulate_adapter_matches_batch(tiny_world):
+    """The object simulate() API rides the batch kernel bit-identically."""
+    topo, routing = tiny_world
+    rng = np.random.default_rng(11)
+    injection = SilentLinkDrops(n_failures=1).inject(topo, rng)
+    matrix = UniformTraffic(topo)
+    specs = generate_passive_flows(routing, matrix, 400, rng)
+    sim = FlowLevelSimulator(topo)
+
+    records = sim.simulate(specs, injection, np.random.default_rng(5))
+    space = PathSpace(topo, routing)
+    batch = sim.simulate_batch(
+        SpecBatch.from_specs(specs, space), injection, np.random.default_rng(5)
+    )
+    assert batch.records() == records
+
+
+def test_vectorized_path_drop_probs_bit_identical(tiny_world):
+    """multiply.reduceat folds hops exactly like the scalar loop."""
+    topo, routing = tiny_world
+    rng = np.random.default_rng(0)
+    plan = DropRatePlan(topo, rng.uniform(0.0, 0.02, size=topo.n_links))
+    space = routing.path_space()
+    for host in topo.hosts[:4]:
+        for other in topo.hosts[-4:]:
+            if host != other:
+                space.pair_set(host, other)
+    probs = _all_path_drop_probs(space, plan)
+    for pid in range(space.n_paths):
+        scalar = plan.path_drop_probability(space.path_nodes(pid))
+        assert probs[pid] == scalar
+
+    # Hop-less paths (zero links) must read as drop probability 0
+    # without corrupting their neighbors' reduceat segments - including
+    # a trailing one, whose start index falls off the end of the CSR.
+    space.intern_path((topo.hosts[0],))
+    probs = _all_path_drop_probs(space, plan)
+    assert probs[space.n_paths - 1] == 0.0
+    for pid in range(space.n_paths - 1):
+        assert probs[pid] == plan.path_drop_probability(space.path_nodes(pid))
+
+
+def test_drop_plan_memoizes_per_path():
+    topo = fat_tree(4)
+    rng = np.random.default_rng(1)
+    plan = DropRatePlan(topo, rng.uniform(0.0, 0.01, size=topo.n_links))
+    u, v = topo.endpoints(0)
+    first = plan.path_drop_probability((u, v))
+    assert plan.path_drop_probability((u, v)) == first
+    assert (u, v) in plan._path_prob_cache
+    # A derived plan gets a fresh cache (its rates differ).
+    derived = plan.with_rates({0: 0.5})
+    assert (u, v) not in derived._path_prob_cache
+    assert derived.path_drop_probability((u, v)) != first
+
+
+def test_gibbs_vector_state_matches_reference(tiny_world):
+    """The array-state Gibbs reproduces the reference-chain predictions."""
+    import math
+
+    from repro.core.jle import JleState
+
+    topo, routing = tiny_world
+    trace = make_trace(
+        topo, routing, SilentLinkDrops(n_failures=1, min_rate=4e-3),
+        seed=21, n_passive=900, n_probes=150,
+    )
+    problem = build_problem(trace, TelemetryConfig.from_spec("A1+A2+P"))
+
+    def reference_gibbs(problem, sweeps, burn_in, threshold, seed):
+        # The pre-vectorization chain, verbatim: JleState + dict counts.
+        rng = np.random.default_rng(seed)
+        state = JleState(problem, DEFAULT_PER_PACKET)
+        candidates = list(problem.observed_components)
+        counts = {comp: 0 for comp in candidates}
+        kept = 0
+        for sweep in range(sweeps):
+            order = rng.permutation(len(candidates))
+            for idx in order:
+                comp = candidates[idx]
+                in_hyp = comp in state.hypothesis
+                gain = state.gain(comp)
+                log_odds = -gain if in_hyp else gain
+                if log_odds >= 0:
+                    p = 1.0 / (1.0 + math.exp(-log_odds))
+                else:
+                    p = math.exp(log_odds) / (1.0 + math.exp(log_odds))
+                if (rng.random() < p) != in_hyp:
+                    state.flip(comp)
+            if sweep >= burn_in:
+                kept += 1
+                for comp in state.hypothesis:
+                    counts[comp] += 1
+        marginals = {c: n / kept for c, n in counts.items()}
+        return (
+            frozenset(c for c, p in marginals.items() if p >= threshold),
+            marginals,
+        )
+
+    for seed in (0, 1, 2):
+        new = GibbsInference(
+            DEFAULT_PER_PACKET, sweeps=12, burn_in=4, seed=seed
+        ).localize(problem)
+        ref_components, ref_scores = reference_gibbs(
+            problem, sweeps=12, burn_in=4, threshold=0.5, seed=seed
+        )
+        assert new.components == ref_components
+        assert new.scores == ref_scores
