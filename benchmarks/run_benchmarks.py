@@ -11,6 +11,12 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --preset tiny
     PYTHONPATH=src python benchmarks/run_benchmarks.py --preset large \
         --label columnar --repeats 3
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --preset tiny \
+        --check BENCH_ci-smoke.json
+
+``--check`` re-measures and fails (exit 1) when any benchmark shared
+with the artifact regresses by more than ``--threshold`` (default 25%);
+benchmarks faster than ``--min-seconds`` are skipped as timer noise.
 
 Benchmarks
 ----------
@@ -45,6 +51,7 @@ import statistics
 import subprocess
 import time
 from pathlib import Path
+from typing import Tuple
 
 import numpy as np
 
@@ -55,6 +62,19 @@ PRESETS = {
     "tiny": (1_200, 200),
     "ci": (4_000, 600),
     "large": (100_000, 5_000),
+    # The paper's simulation scale: full paper_simulation_clos fabric,
+    # 400K passive flows.  Only the compressed pipeline can run it;
+    # the object-pipeline and reference-engine arms are skipped.
+    "paper": (400_000, 20_000),
+}
+
+#: Benchmarks excluded per preset (intractable by design at that scale).
+PRESET_SKIPS = {
+    "paper": {
+        "trace_build_object",      # materializes ~9M per-pair projections
+        "kernel_delta_reference",  # pure-Python engine over 400K flows
+        "kernel_flip_vector",      # micro-bench; covered by localize_*
+    },
 }
 
 
@@ -115,7 +135,10 @@ def build_benchmarks(preset: str, base_seed: int):
     from repro.traffic.probes import a1_probe_plan
 
     n_passive, n_probes = PRESETS[preset]
-    topo = standard_topology("tiny" if preset == "tiny" else "ci")
+    if preset in ("tiny", "paper"):
+        topo = standard_topology(preset)
+    else:
+        topo = standard_topology("ci")
     routing = EcmpRouting(topo)
     telemetry = TelemetryConfig.from_spec("A1+A2+P")
     scenario = SilentLinkDrops(n_failures=3, min_rate=4e-3, max_rate=1e-2)
@@ -173,12 +196,24 @@ def build_benchmarks(preset: str, base_seed: int):
     def kernel_delta_reference(i):
         return JleState(kernel_problem, DEFAULT_PER_PACKET)
 
-    vector_state = VectorJleState(kernel_problem, DEFAULT_PER_PACKET)
-    flip_comp = kernel_problem.observed_components[0]
+    skips = PRESET_SKIPS.get(preset, set())
+    benches = {
+        "trace_build_columnar": trace_build_columnar,
+        "trace_build_object": trace_build_object,
+        "simulate_columnar": simulate_columnar,
+        "kernel_delta_vector": kernel_delta_vector,
+        "kernel_delta_reference": kernel_delta_reference,
+    }
 
-    def kernel_flip_vector(i):
-        vector_state.flip(flip_comp)
-        vector_state.flip(flip_comp)
+    if "kernel_flip_vector" not in skips:
+        vector_state = VectorJleState(kernel_problem, DEFAULT_PER_PACKET)
+        flip_comp = kernel_problem.observed_components[0]
+
+        def kernel_flip_vector(i):
+            vector_state.flip(flip_comp)
+            vector_state.flip(flip_comp)
+
+        benches["kernel_flip_vector"] = kernel_flip_vector
 
     greedy = build_localizer("flock")
     gibbs = GibbsInference(DEFAULT_PER_PACKET, sweeps=12, burn_in=4, seed=0)
@@ -189,27 +224,84 @@ def build_benchmarks(preset: str, base_seed: int):
     def localize_gibbs(i):
         return gibbs.localize(kernel_problem)
 
-    return {
-        "trace_build_columnar": trace_build_columnar,
-        "trace_build_object": trace_build_object,
-        "simulate_columnar": simulate_columnar,
-        "kernel_delta_vector": kernel_delta_vector,
-        "kernel_delta_reference": kernel_delta_reference,
-        "kernel_flip_vector": kernel_flip_vector,
-        "localize_greedy_fast": localize_greedy_fast,
-        "localize_gibbs": localize_gibbs,
-    }
+    benches["localize_greedy_fast"] = localize_greedy_fast
+    benches["localize_gibbs"] = localize_gibbs
+    return {name: fn for name, fn in benches.items() if name not in skips}
+
+
+def check_regressions(
+    baseline: dict,
+    results: dict,
+    threshold: float,
+    min_seconds: float,
+) -> Tuple[int, int]:
+    """Compare fresh results against a committed artifact.
+
+    Returns ``(regressions, compared)``: regressions are benchmarks
+    present in both runs whose fresh mean exceeds the baseline mean by
+    more than ``threshold``; benchmarks below ``min_seconds`` in the
+    baseline are timer noise and are skipped.  Callers must treat
+    ``compared == 0`` as a gate failure - comparing nothing validates
+    nothing.
+    """
+    regressions = 0
+    compared = 0
+    for name, entry in sorted(baseline.get("benchmarks", {}).items()):
+        fresh = results.get(name)
+        old_mean = entry.get("mean_s")
+        if fresh is None or old_mean is None:
+            print(f"{name:26s} SKIP (not measured in this run)")
+            continue
+        if old_mean < min_seconds:
+            print(f"{name:26s} SKIP (baseline {old_mean:.4f}s below noise floor)")
+            continue
+        compared += 1
+        new_mean = fresh["mean_s"]
+        ratio = new_mean / old_mean
+        status = "OK"
+        if new_mean > old_mean * (1.0 + threshold):
+            status = "REGRESSION"
+            regressions += 1
+        print(f"{name:26s} {old_mean:8.4f}s -> {new_mean:8.4f}s "
+              f"({ratio:5.2f}x)  {status}")
+    return regressions, compared
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--preset", choices=sorted(PRESETS), default="ci")
-    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default=None)
+    parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument("--label", default=None,
                         help="BENCH_<label>.json (default: the preset)")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--out-dir", default=str(REPO_ROOT))
+    parser.add_argument(
+        "--check", default=None, metavar="BENCH.json",
+        help="re-measure and fail on >threshold regressions vs this "
+             "artifact (no new artifact is written)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed mean-time regression fraction for --check",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.005,
+        help="baseline means below this are skipped by --check "
+             "(timer noise)",
+    )
     args = parser.parse_args()
+
+    baseline = None
+    if args.check is not None:
+        baseline = json.loads(Path(args.check).read_text())
+        if args.preset is None:
+            args.preset = baseline.get("preset", "ci")
+        if args.repeats is None:
+            args.repeats = baseline.get("repeats", 3)
+    if args.preset is None:
+        args.preset = "ci"
+    if args.repeats is None:
+        args.repeats = 3
 
     benches = build_benchmarks(args.preset, args.seed)
     results = {}
@@ -219,6 +311,23 @@ def main() -> int:
         print(f"{name:26s} mean {results[name]['mean_s']:8.4f}s "
               f"(stddev {results[name]['stddev_s']:.4f}, "
               f"cold {results[name]['cold_s']:.4f})")
+
+    if baseline is not None:
+        print(f"\nchecking against {args.check} "
+              f"(threshold {args.threshold:.0%})")
+        regressions, compared = check_regressions(
+            baseline, results, args.threshold, args.min_seconds
+        )
+        if regressions:
+            print(f"{regressions} of {compared} benchmark(s) regressed")
+            return 1
+        if compared == 0:
+            print("no benchmarks compared - the gate validated nothing "
+                  "(preset mismatch, or every baseline below the noise "
+                  "floor); failing")
+            return 1
+        print(f"no regressions across {compared} benchmark(s)")
+        return 0
 
     derived = {}
     obj = results.get("trace_build_object", {}).get("mean_s")

@@ -17,15 +17,21 @@ ingest the passive telemetry as they do not model path uncertainty").
 
 from __future__ import annotations
 
-from typing import Dict
+import numpy as np
 
 from ..errors import InferenceError
 from ..types import Prediction
-from .base import exact_flow_view
+from .base import exact_flow_components
 
 
 class Vote007:
-    """007-style link voting."""
+    """007-style link voting, tallied as whole-array passes.
+
+    Votes accumulate per link in flow order (``np.bincount`` over the
+    flow-major expansion), which is the same float addition sequence
+    the historical per-flow dict loop performed - tallies are
+    bit-identical to it.
+    """
 
     name = "007"
 
@@ -39,23 +45,35 @@ class Vote007:
         return self._threshold
 
     def localize(self, problem) -> Prediction:
-        votes: Dict[int, float] = {}
-        for flow in exact_flow_view(problem):
-            if flow.bad_packets < 1:
-                continue
-            links = [c for c in flow.components if c < problem.n_links]
-            if not links:
-                continue
-            share = flow.weight / len(links)
-            for link in links:
-                votes[link] = votes.get(link, 0.0) + share
-        if not votes:
+        flows, comps, off = exact_flow_components(problem)
+        if len(flows) == 0:
             return Prediction.empty()
-        max_score = max(votes.values())
+        local = np.repeat(
+            np.arange(len(flows), dtype=np.int64), np.diff(off)
+        )
+        link_rows = comps < problem.n_links
+        link_local = local[link_rows]
+        link_comp = comps[link_rows]
+        links_per_flow = np.bincount(link_local, minlength=len(flows))
+        flagged = (problem.bad_packets[flows] >= 1) & (links_per_flow > 0)
+        if not flagged.any():
+            return Prediction.empty()
+        share = np.zeros(len(flows))
+        share[flagged] = (
+            problem.weights[flows[flagged]] / links_per_flow[flagged]
+        )
+        use = flagged[link_local]
+        votes = np.bincount(
+            link_comp[use], weights=share[link_local[use]],
+            minlength=problem.n_links,
+        )
+        max_score = float(votes.max()) if len(votes) else 0.0
         if max_score <= 0.0:
             return Prediction.empty()
         cutoff = self._threshold * max_score
+        voted = np.nonzero(votes > 0.0)[0]
+        scores = {int(l): float(votes[l]) for l in voted.tolist()}
         predicted = frozenset(
-            link for link, score in votes.items() if score >= cutoff
+            int(l) for l in voted.tolist() if votes[l] >= cutoff
         )
-        return Prediction(components=predicted, scores=votes)
+        return Prediction(components=predicted, scores=scores)

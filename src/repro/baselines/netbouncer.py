@@ -23,6 +23,17 @@ crossing a device" for the device-failure experiment).  Those three
 knobs match the paper's "NetBouncer has 3 [parameters]".
 
 Like 007, NetBouncer consumes exact-path flows only.
+
+Implementation notes: flows aggregate into per-link-path success ratios
+with whole-array passes over the problem CSRs; each coordinate-descent
+step computes all of a link's path products with one masked
+``np.multiply.reduceat`` (excluded coordinates read as an exact 1.0
+factor), and the per-link boundary scan of the concave case prices both
+endpoints vectorized.  Scalar accumulations are reproduced with
+``cumsum`` folds, so estimates match the historical per-path Python
+loops bit for bit.  The device rule walks the component indexes
+(``comp -> paths``, ``comp -> flows``, endpoint columns) instead of the
+object views, so compressed problems never expand.
 """
 
 from __future__ import annotations
@@ -31,9 +42,17 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..core.problem import _expand_slices
 from ..errors import InferenceError
 from ..types import Prediction
-from .base import exact_flow_view
+from .base import exact_flow_components
+
+
+def _seq_sum(terms: np.ndarray, init: float) -> float:
+    """Left-to-right ``init + t1 + t2 + ...`` (the scalar-loop order)."""
+    if len(terms) == 0:
+        return init
+    return float(np.cumsum(np.concatenate(([init], terms)))[-1])
 
 
 class NetBouncer:
@@ -64,59 +83,113 @@ class NetBouncer:
         self._tol = tol
 
     # ------------------------------------------------------------------
+    def _aggregate(self, problem):
+        """Group exact flows into per-(link-)path success ratios.
+
+        Returns (paths as link tuples in first-seen order, y array).
+        Flows of one problem set share their components, so grouping
+        runs per distinct set and only merges sets whose link tuples
+        coincide.
+        """
+        flows, comps, off = exact_flow_components(problem)
+        if len(flows) == 0:
+            return [], np.empty(0)
+        sent = problem.packets_sent[flows]
+        bad = problem.bad_packets[flows]
+        wt = problem.weights[flows]
+        local = np.repeat(np.arange(len(flows), dtype=np.int64), np.diff(off))
+        link_rows = comps < problem.n_links
+        l_local = local[link_rows]
+        l_comp = comps[link_rows]
+        lcounts = np.bincount(l_local, minlength=len(flows))
+        loff = np.zeros(len(flows) + 1, dtype=np.int64)
+        np.cumsum(lcounts, out=loff[1:])
+
+        valid = (lcounts > 0) & (sent > 0)
+        sets = problem._set_of_flow[flows]
+        group_of_set: Dict[int, int] = {}
+        group_index: Dict[Tuple[int, ...], int] = {}
+        paths: List[Tuple[int, ...]] = []
+        group_ids = np.full(len(flows), -1, dtype=np.int64)
+        l_comp_list = l_comp.tolist()
+        for i in np.nonzero(valid)[0].tolist():
+            sid = int(sets[i])
+            gid = group_of_set.get(sid)
+            if gid is None:
+                links = tuple(l_comp_list[loff[i]:loff[i + 1]])
+                gid = group_index.get(links)
+                if gid is None:
+                    gid = len(paths)
+                    group_index[links] = gid
+                    paths.append(links)
+                group_of_set[sid] = gid
+            group_ids[i] = gid
+
+        sel = group_ids >= 0
+        good = np.bincount(
+            group_ids[sel],
+            weights=(wt * (sent - bad))[sel],
+            minlength=len(paths),
+        )
+        total = np.bincount(
+            group_ids[sel], weights=(wt * sent)[sel], minlength=len(paths)
+        )
+        return paths, good / total
+
+    # ------------------------------------------------------------------
     def localize(self, problem) -> Prediction:
-        # Aggregate exact flows into per-(link-)path success ratios; the
-        # path's device components are remembered for the device rule.
-        path_stats: Dict[Tuple[int, ...], List[int]] = {}
-        for flow in exact_flow_view(problem):
-            links = tuple(c for c in flow.components if c < problem.n_links)
-            if not links or flow.packets_sent == 0:
-                continue
-            entry = path_stats.setdefault(links, [0, 0])
-            entry[0] += flow.weight * (flow.packets_sent - flow.bad_packets)
-            entry[1] += flow.weight * flow.packets_sent
-        if not path_stats:
+        paths, y = self._aggregate(problem)
+        if not paths:
             return Prediction.empty()
 
-        paths = list(path_stats)
-        y = np.asarray(
-            [good / total for good, total in (path_stats[p] for p in paths)]
-        )
         links = sorted({link for path in paths for link in path})
         link_index = {link: i for i, link in enumerate(links)}
-        paths_idx = [
-            np.asarray([link_index[l] for l in path], dtype=np.int64)
-            for path in paths
-        ]
-        paths_of_link: Dict[int, List[int]] = {i: [] for i in range(len(links))}
-        for p, idxs in enumerate(paths_idx):
-            for i in idxs:
-                paths_of_link[int(i)].append(p)
+        # Path -> link-index CSR (member order preserved).
+        plen = np.fromiter(
+            (len(p) for p in paths), dtype=np.int64, count=len(paths)
+        )
+        plo = np.zeros(len(paths) + 1, dtype=np.int64)
+        np.cumsum(plen, out=plo[1:])
+        pl_flat = np.fromiter(
+            (link_index[l] for path in paths for l in path),
+            dtype=np.int64,
+            count=int(plo[-1]),
+        )
+        # link index -> member paths (ascending), via a stable sort.
+        path_of = np.repeat(np.arange(len(paths), dtype=np.int64), plen)
+        order = np.argsort(pl_flat, kind="stable")
+        pol_vals = path_of[order]
+        pol_bounds = np.searchsorted(
+            pl_flat[order], np.arange(len(links) + 1, dtype=np.int64)
+        )
 
         x = np.ones(len(links))
         lam = self._lam
         for _ in range(self._max_sweeps):
             max_move = 0.0
             for li in range(len(links)):
-                member_paths = paths_of_link[li]
-                if not member_paths:
+                members = pol_vals[pol_bounds[li]:pol_bounds[li + 1]]
+                if not len(members):
                     continue
-                num = -lam / 2.0
-                den = -lam
-                for p in member_paths:
-                    idxs = paths_idx[p]
-                    q = 1.0
-                    for j in idxs:
-                        if int(j) != li:
-                            q *= x[j]
-                    num += y[p] * q
-                    den += q * q
+                seg_lens = plen[members]
+                idx = _expand_slices(plo[members], seg_lens)
+                flat = pl_flat[idx]
+                vals = x[flat]
+                # The excluded coordinate reads as an exact 1.0 factor,
+                # so the left-to-right fold equals the skip-one loop.
+                vals[flat == li] = 1.0
+                starts = np.zeros(len(members), dtype=np.int64)
+                np.cumsum(seg_lens[:-1], out=starts[1:])
+                q = np.multiply.reduceat(vals, starts)
+                ym = y[members]
+                num = _seq_sum(ym * q, -lam / 2.0)
+                den = _seq_sum(q * q, -lam)
                 if den > 1e-12:
                     new = min(1.0, max(0.0, num / den))
                 elif den < -1e-12:
                     # Regularizer dominates: the quadratic is concave, so
                     # the minimum is at a boundary; pick the better one.
-                    new = self._boundary_min(li, paths_idx, paths_of_link, y, x)
+                    new = self._boundary_min(ym, q)
                 else:
                     continue
                 max_move = max(max_move, abs(new - x[li]))
@@ -129,46 +202,54 @@ class NetBouncer:
             links[i] for i in range(len(links)) if drop[i] > self._drop_threshold
         )
 
-        # Device rule: blame a device when enough of its observed links
-        # failed.  Observed links per device come from the problem's
-        # component indexes.
         predicted = set(failed_links)
-        for device, flows in problem.flows_by_comp.items():
-            if device < problem.n_links:
-                continue
-            observed_links: set = set()
-            for flow in flows:
-                for pid in problem.flow_paths[flow]:
-                    comps = problem.path_table.components(pid)
-                    if device in comps:
-                        observed_links.update(
-                            c for c in comps if c < problem.n_links
-                        )
-            if not observed_links:
-                continue
-            failed_here = observed_links & failed_links
-            if len(failed_here) / len(observed_links) >= self._device_frac:
-                predicted.add(device)
-
+        predicted |= self._failed_devices(problem, failed_links)
         scores = {links[i]: float(drop[i]) for i in range(len(links))}
         return Prediction(components=frozenset(predicted), scores=scores)
 
-    def _boundary_min(self, li, paths_idx, paths_of_link, y, x) -> float:
+    def _boundary_min(self, ym: np.ndarray, q: np.ndarray) -> float:
         """Evaluate the per-coordinate objective at x_l in {0, 1}."""
         best_val = None
         best_x = 1.0
         for candidate in (0.0, 1.0):
-            val = 0.0
-            for p in paths_of_link[li]:
-                idxs = paths_idx[p]
-                q = 1.0
-                for j in idxs:
-                    if int(j) != li:
-                        q *= x[j]
-                resid = y[p] - candidate * q
-                val += resid * resid
-            val += self._lam * candidate * (1.0 - candidate)
+            resid = ym - candidate * q
+            val = _seq_sum(
+                resid * resid, 0.0
+            ) + self._lam * candidate * (1.0 - candidate)
             if best_val is None or val < best_val:
                 best_val = val
                 best_x = candidate
         return best_x
+
+    def _failed_devices(self, problem, failed_links: frozenset) -> set:
+        """Blame a device when enough of its observed links failed.
+
+        A device's observed links are the links co-occurring with it on
+        any path: its kernel paths' link comps plus the endpoint links
+        of every set containing it (endpoint comps sit on all member
+        paths, including the device-bearing ones).
+        """
+        out: set = set()
+        n_links = problem.n_links
+        for device in problem.observed_components:
+            if device < n_links:
+                continue
+            dev_pids = problem.comp_path_ids(device)
+            lens = np.diff(problem.path_off)[dev_pids]
+            pcomps = problem.path_comps[
+                _expand_slices(problem.path_off[dev_pids], lens)
+            ]
+            flows = problem.comp_flows(device)
+            aff_sets = np.unique(problem._set_of_flow[flows])
+            e_lens = np.diff(problem._set_eoff)[aff_sets]
+            e_links = problem._set_ecomps[
+                _expand_slices(problem._set_eoff[aff_sets], e_lens)
+            ]
+            observed = set(pcomps[pcomps < n_links].tolist())
+            observed.update(e_links.tolist())
+            if not observed:
+                continue
+            failed_here = observed & failed_links
+            if len(failed_here) / len(observed) >= self._device_frac:
+                out.add(device)
+        return out

@@ -30,7 +30,11 @@ import numpy as np
 
 from ..errors import InferenceError
 from ..types import Prediction
-from ..core.flock_fast import VectorArrays, VectorJleState
+from ..core.flock_fast import (
+    VectorArrays,
+    VectorJleState,
+    addition_upper_bounds,
+)
 from ..core.jle import JleState
 from ..core.model import LikelihoodModel
 from ..core.params import DEFAULT_PER_PACKET, FlockParams
@@ -133,10 +137,23 @@ class SherlockFerret:
         best_ll = [0.0]
         scanned = [1]
 
+        # Branch-and-bound pruning on the shared upper-bound array:
+        # adding comp to *any* hypothesis gains at most ub[comp] (data
+        # bound max(0, s) per flow, plus the prior and a float-rounding
+        # slack), so a branch whose optimistic extension cannot strictly
+        # beat the incumbent is skipped without flipping.
+        ubpos = np.maximum(addition_upper_bounds(problem, self._params), 0.0)
+        ubpos_cand = ubpos[cand]
+        suffix_max = np.zeros(len(cand) + 1)
+        if len(cand):
+            suffix_max[:-1] = np.maximum.accumulate(ubpos_cand[::-1])[::-1]
+
         def consider_leaves(start: int) -> None:
             """Price all extensions H + {cand[i]}, i >= start, via Δ."""
             remaining = cand[start:]
             if len(remaining) == 0:
+                return
+            if state.ll + suffix_max[start] <= best_ll[0]:
                 return
             gains = state.addition_gains(remaining)
             scanned[0] += len(remaining)
@@ -157,7 +174,17 @@ class SherlockFerret:
                 # branch - no flips needed at the bottom level.
                 consider_leaves(start)
                 return
+            budget = self._k - len(state.hypothesis)
             for i in range(start, len(cand)):
+                if state.ll + budget * suffix_max[i] <= best_ll[0]:
+                    # suffix_max is non-increasing, so no later branch
+                    # of this loop can improve either.
+                    break
+                if (
+                    state.ll + ubpos_cand[i] + (budget - 1) * suffix_max[i + 1]
+                    <= best_ll[0]
+                ):
+                    continue
                 comp = int(cand[i])
                 scanned[0] += 1
                 state.flip(comp)

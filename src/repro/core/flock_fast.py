@@ -7,25 +7,35 @@ the same quantities as flat-array passes, so that the Fig. 4c ablation
 rather than interpreter constant factors - all four arms share the CSR
 substrate below, mirroring the paper's single C++ framework.
 
-Shared structures (:class:`VectorArrays`):
+Shared structures (:class:`VectorArrays`), built on the problem's *set
+layer*:
 
-* ``path_comps``/``path_off`` - CSR of component ids per interned path;
-* ``flow_pids``/``flow_off`` - CSR of path ids per flow (with
-  multiplicity = the flow's ECMP fan-out ``w``);
-* ``comp -> flows`` and ``comp -> paths`` inverted maps.
+* ``path_comps``/``path_off`` - CSR of component ids per problem path
+  (interior projections for compressed problems);
+* flows reference de-duplicated path sets; sets reference shared
+  *interior sets* whose unique member paths carry an integer
+  multiplicity column; per-set *endpoint components* sit on every
+  member path of their set;
+* ``comp -> flows``, ``comp -> paths`` and ``comp -> endpoint sets``
+  inverted maps.
 
-The workhorse pattern: expand (flow, path) instances to
-(flow, component) pairs, count pairs over *good* paths with one
-``np.unique`` over packed 64-bit keys, evaluate the memoized per-flow
-likelihood difference, and scatter-add with ``np.bincount`` - the
-paper's "couple of passes over L_F" as whole-array passes.
+The workhorse pattern: count (set, component) pairs over *good* member
+paths at interior-set granularity, expand the per-set pair lists to
+flows in flow-major component-sorted order, evaluate the memoized
+per-flow likelihood difference, and scatter-add with ``np.bincount``.
+Because an uncompressed problem is the trivial factoring (every set its
+own interior set, no endpoint comps), one code path serves both
+representations, and their kernel sums are identical term by term and
+in accumulation order - which is what keeps compressed and uncompressed
+predictions bit-identical.
 
 Engines built on the substrate:
 
 * :class:`VectorJleState` - JLE Δ array with involutive add/remove
   flips (drop-in for :class:`repro.core.jle.JleState`);
 * :class:`VectorGreedyWithoutJle` - greedy search pricing every
-  candidate individually each iteration (the "greedy only" arm);
+  candidate individually each iteration (the "greedy only" arm), with
+  array-level candidate pruning from a per-component gain upper bound;
 * :meth:`VectorArrays.hypothesis_ll` - direct hypothesis pricing used
   by the plain-Sherlock arm.
 """
@@ -38,12 +48,73 @@ import numpy as np
 
 from ..errors import InferenceError
 from ..types import Prediction
-from .model import evidence_scores, normalized_flow_ll_vec
+from .model import evidence_exp, evidence_scores, normalized_flow_ll_fast
 from .params import FlockParams
 from .problem import InferenceProblem
 
 
 from .problem import _expand_slices  # noqa: E402  (shared CSR helper)
+
+#: Above this many (row x component) cells the pair-count kernel falls
+#: back to sort-based counting instead of a dense bincount scratch.
+_DENSE_CELLS_CAP = 1 << 23
+
+
+def addition_upper_bounds(
+    problem: InferenceProblem,
+    params: FlockParams,
+    s: Optional[np.ndarray] = None,
+    wt: Optional[np.ndarray] = None,
+    prior_gain: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-component upper bound on any addition gain.
+
+    ``nll(b') - nll(b) <= max(0, s)`` for every flow, so adding ``c``
+    to *any* hypothesis gains at most
+    ``prior[c] + sum_{f in flows(c), s_f > 0} wt_f * s_f``.  A mixed
+    absolute + relative slack absorbs float rounding (the bound and the
+    exact gains accumulate in different summation orders), so pruning
+    cannot drop a candidate unless its exact gain beats the incumbent
+    by less than the slack - i.e. only float-tie-level outcomes can
+    differ from an unpruned scan.  Computed straight off the problem
+    arrays; the single definition serves the vector engines (which pass
+    their precomputed ``s``/``wt``/``prior_gain``) and the
+    reference-engine Sherlock recursion alike.
+    """
+    if s is None:
+        s = evidence_scores(problem.bad_packets, problem.packets_sent, params)
+    if wt is None:
+        wt = problem.weights.astype(np.float64)
+    pos = wt * np.maximum(s, 0.0)
+    ub = np.bincount(
+        problem._comp_flow_keys,
+        weights=pos[problem._comp_flow_vals],
+        minlength=problem.n_components,
+    )
+    if prior_gain is None:
+        prior_gain = np.empty(problem.n_components)
+        prior_gain[: problem.n_links] = params.link_prior_gain
+        prior_gain[problem.n_links:] = params.device_prior_gain
+    return ub + prior_gain + (1e-9 + 1e-12 * np.abs(ub))
+
+
+def _count_sorted(
+    keys: np.ndarray, weights: np.ndarray, dense_size: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(sorted unique keys, per-key weight sums).
+
+    The weight sums are exact small-integer floats, so the dense
+    bincount fast path and the sort-based fallback return identical
+    arrays - only their speed differs.
+    """
+    if len(keys) == 0:
+        return keys, np.empty(0)
+    if 0 < dense_size <= _DENSE_CELLS_CAP:
+        dense = np.bincount(keys, weights=weights, minlength=dense_size)
+        ukeys = np.nonzero(dense)[0]
+        return ukeys, dense[ukeys]
+    ukeys, inverse = np.unique(keys, return_inverse=True)
+    return ukeys, np.bincount(inverse, weights=weights)
 
 
 class VectorArrays:
@@ -55,6 +126,7 @@ class VectorArrays:
         self.n_comps = problem.n_components
 
         self.s = evidence_scores(problem.bad_packets, problem.packets_sent, params)
+        self._es = evidence_exp(self.s)
         self.wt = problem.weights.astype(np.float64)
 
         # The problem's primary representation already is the CSR this
@@ -62,47 +134,129 @@ class VectorArrays:
         # from the object views.
         self.path_comps, self.path_off = problem.path_comps, problem.path_off
         self.path_len = np.diff(self.path_off)
-        self.flow_pids, self.flow_off = problem.flow_pids, problem.flow_off
-        self.flow_len = np.diff(self.flow_off)
-        self.w = self.flow_len.astype(np.float64)
+        self.n_kernel_paths = len(self.path_off) - 1
+
+        self.set_of_flow = problem._set_of_flow
+        self.iset_of_set = problem._iset_of_set
+        self.iset_upids = problem._iset_upids
+        self.iset_umult = problem._iset_umult.astype(np.float64)
+        self.iset_uoff = problem._iset_uoff
+        self.iset_ulen = np.diff(self.iset_uoff)
+        self.set_ecomps = problem._set_ecomps
+        self.set_eoff = problem._set_eoff
+        self.set_elen = np.diff(self.set_eoff)
+        self.set_w = problem._set_w.astype(np.float64)
+        self.n_sets = len(self.iset_of_set)
+
+        self.w = self.set_w[self.set_of_flow]
 
         self.prior_gain = np.empty(self.n_comps)
         self.prior_gain[: problem.n_links] = params.link_prior_gain
         self.prior_gain[problem.n_links:] = params.device_prior_gain
+
+    def nll(self, b: np.ndarray, flow_idx: np.ndarray) -> np.ndarray:
+        """Normalized flow ll for (global) flow indices, memoized exp(s)."""
+        return normalized_flow_ll_fast(
+            b, self.w[flow_idx], self.s[flow_idx], self._es[flow_idx]
+        )
 
     def comp_flows(self, comp: int) -> np.ndarray:
         """Flows that can blame ``comp`` (empty array when unobserved)."""
         return self.problem.comp_flows(comp)
 
     def comp_paths(self, comp: int) -> np.ndarray:
-        """Interned paths containing ``comp``."""
+        """Problem paths containing ``comp``."""
         return self.problem.comp_path_ids(comp)
 
-    # ------------------------------------------------------------------
-    def flow_instances(self, flows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """(local flow index, path id) arrays for the flows' path instances."""
-        starts = self.flow_off[flows]
-        lengths = self.flow_len[flows]
-        inst_idx = _expand_slices(starts, lengths)
-        pids = self.flow_pids[inst_idx]
-        local = np.repeat(np.arange(len(flows), dtype=np.int64), lengths)
-        return local, pids
+    def comp_esets(self, comp: int) -> np.ndarray:
+        """Sets carrying ``comp`` as an endpoint component."""
+        return self.problem.comp_eset_ids(comp)
 
-    def pair_counts(self, flows_local: np.ndarray, pids: np.ndarray):
-        """Count (local flow, component) pairs over the given path
-        instances; returns (flow_local, comp, count)."""
-        starts = self.path_off[pids]
-        lengths = self.path_len[pids]
-        comp_idx = _expand_slices(starts, lengths)
-        comps = self.path_comps[comp_idx]
-        flows = np.repeat(flows_local, lengths)
-        keys = flows * np.int64(self.n_comps) + comps
-        uniq, counts = np.unique(keys, return_counts=True)
-        return (
-            uniq // self.n_comps,
-            uniq % self.n_comps,
-            counts.astype(np.float64),
+    # ------------------------------------------------------------------
+    # Set-layer expansion primitives
+    # ------------------------------------------------------------------
+    def set_instances(
+        self, sets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(local set index, unique member pid, multiplicity) triples."""
+        isets = self.iset_of_set[sets]
+        lengths = self.iset_ulen[isets]
+        idx = _expand_slices(self.iset_uoff[isets], lengths)
+        local = np.repeat(np.arange(len(sets), dtype=np.int64), lengths)
+        return local, self.iset_upids[idx], self.iset_umult[idx]
+
+    def _set_pair_lists(
+        self,
+        sets: np.ndarray,
+        local: np.ndarray,
+        upids: np.ndarray,
+        mult: np.ndarray,
+        good: np.ndarray,
+        goodcount: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-set (component, count) lists over good member paths.
+
+        Counts weight by member multiplicity; endpoint components sit on
+        every member path, so they count the set's whole good-member
+        total (and appear only while the set still has good members).
+        Returns (packed keys, counts) sorted by (set local id, comp).
+        """
+        n_comps = np.int64(self.n_comps)
+        gl = local[good]
+        gp = upids[good]
+        lens = self.path_len[gp]
+        keys = np.repeat(gl, lens) * n_comps + self.path_comps[
+            _expand_slices(self.path_off[gp], lens)
+        ]
+        wts = np.repeat(mult[good], lens)
+        ukeys, cnts = _count_sorted(keys, wts, len(sets) * self.n_comps)
+        has_e = (self.set_elen[sets] > 0) & (goodcount > 0)
+        if np.any(has_e):
+            esel = np.nonzero(has_e)[0]
+            elens = self.set_elen[sets[esel]]
+            eidx = _expand_slices(self.set_eoff[sets[esel]], elens)
+            ekeys = np.repeat(esel, elens) * n_comps + self.set_ecomps[eidx]
+            ecnts = np.repeat(goodcount[esel], elens)
+            # Endpoint comps are disjoint from interior comps of the
+            # same set, so the merged key stream has no duplicates; one
+            # scatter pass fills both output arrays.
+            pos = np.searchsorted(ukeys, ekeys)
+            n = len(ukeys) + len(ekeys)
+            at = pos + np.arange(len(ekeys), dtype=np.int64)
+            rest = np.ones(n, dtype=bool)
+            rest[at] = False
+            merged_keys = np.empty(n, dtype=np.int64)
+            merged_cnts = np.empty(n)
+            merged_keys[at] = ekeys
+            merged_cnts[at] = ecnts
+            merged_keys[rest] = ukeys
+            merged_cnts[rest] = cnts
+            return merged_keys, merged_cnts
+        return ukeys, cnts
+
+    def _pairs_to_flows(
+        self,
+        n_local_sets: int,
+        flow_set_local: np.ndarray,
+        keys: np.ndarray,
+        cnts: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expand per-set pair lists to flow-major (fl, comp, cnt).
+
+        Flows arrive ascending with component-sorted pair lists, which
+        is exactly the order the historical per-instance ``np.unique``
+        counting produced - the load-bearing detail that keeps every
+        downstream ``np.bincount`` accumulation bit-identical across
+        problem representations.
+        """
+        n_comps = np.int64(self.n_comps)
+        bounds = np.searchsorted(
+            keys, np.arange(n_local_sets + 1, dtype=np.int64) * n_comps
         )
+        lens = np.diff(bounds)[flow_set_local]
+        fl = np.repeat(np.arange(len(flow_set_local), dtype=np.int64), lens)
+        idx = _expand_slices(bounds[flow_set_local], lens)
+        return fl, (keys % n_comps)[idx], cnts[idx]
 
     def affected_flows(self, comps: Iterable[int]) -> np.ndarray:
         arrays = [a for a in (self.comp_flows(c) for c in comps) if len(a)]
@@ -112,28 +266,41 @@ class VectorArrays:
             return arrays[0]
         return np.unique(np.concatenate(arrays))
 
+    def addition_upper_bounds(self) -> np.ndarray:
+        """See the module-level :func:`addition_upper_bounds`."""
+        return addition_upper_bounds(
+            self.problem, self.params, self.s, self.wt, self.prior_gain
+        )
+
     def hypothesis_ll(self, comps: Iterable[int], include_prior: bool = True) -> float:
         """Normalized log likelihood of a hypothesis, priced directly.
 
         This is the plain-Sherlock work unit: only flows intersecting
         the hypothesis contribute, each priced from its failed-path
-        count.  Cost: O(path instances of affected flows).
+        count.  Cost: O(member paths of affected sets + affected flows).
         """
         hyp = list(set(comps))
         total = 0.0
         if hyp:
             flows = self.affected_flows(hyp)
             if len(flows):
-                local, pids = self.flow_instances(flows)
-                path_bad = np.zeros(self.problem.n_paths, dtype=bool)
+                aff_sets, fsl = np.unique(
+                    self.set_of_flow[flows], return_inverse=True
+                )
+                local, upids, mult = self.set_instances(aff_sets)
+                path_bad = np.zeros(self.n_kernel_paths, dtype=bool)
+                e_bad = np.zeros(len(aff_sets), dtype=bool)
                 for comp in hyp:
                     path_bad[self.comp_paths(comp)] = True
-                b = np.bincount(
-                    local,
-                    weights=path_bad[pids].astype(np.float64),
-                    minlength=len(flows),
+                    esets = self.comp_esets(comp)
+                    if len(esets):
+                        e_bad[np.searchsorted(aff_sets, esets)] = True
+                inst_bad = path_bad[upids] | e_bad[local]
+                b_set = np.bincount(
+                    local, weights=mult * inst_bad, minlength=len(aff_sets)
                 )
-                lls = normalized_flow_ll_vec(b, self.w[flows], self.s[flows])
+                b = b_set[fsl]
+                lls = self.nll(b, flows)
                 total = float(np.dot(self.wt[flows], lls))
         if include_prior:
             total += float(sum(self.prior_gain[c] for c in hyp))
@@ -150,8 +317,9 @@ class VectorJleState(VectorArrays):
 
     def __init__(self, problem: InferenceProblem, params: FlockParams) -> None:
         super().__init__(problem, params)
-        self.path_nfailed = np.zeros(problem.n_paths, dtype=np.int64)
-        self.flow_b = np.zeros(problem.n_flows, dtype=np.int64)
+        self._path_nfailed = np.zeros(self.n_kernel_paths, dtype=np.int64)
+        self._set_e_nfailed = np.zeros(self.n_sets, dtype=np.int64)
+        self._set_b = np.zeros(self.n_sets, dtype=np.int64)
         self.hypothesis: Set[int] = set()
         self.ll = 0.0
         self.flips = 0
@@ -161,12 +329,39 @@ class VectorJleState(VectorArrays):
     def hypotheses_scanned(self) -> int:
         return (self.flips + 1) * self.problem.n_components
 
+    # Compatibility views in object-path terms (tests and diagnostics;
+    # the kernels maintain interior-path / set-level state instead).
+    @property
+    def flow_b(self) -> np.ndarray:
+        """Failed-path count per flow (object-view semantics)."""
+        return self._set_b[self.set_of_flow]
+
+    @property
+    def path_nfailed(self) -> np.ndarray:
+        """Failed-component count per *full* path (object-view ids)."""
+        if not self.problem.compressed:
+            return self._path_nfailed
+        hyp = self.hypothesis
+        table = self.problem.path_table
+        return np.fromiter(
+            (sum(c in hyp for c in comps) for comps in table),
+            dtype=np.int64,
+            count=len(table),
+        )
+
     def _initial_delta(self) -> np.ndarray:
-        n_flows = self.problem.n_flows
-        all_flows = np.arange(n_flows, dtype=np.int64)
-        local, pids = self.flow_instances(all_flows)
-        fl, comp, cnt = self.pair_counts(local, pids)
-        contrib = self.wt[fl] * normalized_flow_ll_vec(cnt, self.w[fl], self.s[fl])
+        if self.problem.n_flows == 0 or self.n_sets == 0:
+            return np.zeros(self.n_comps, dtype=np.float64)
+        sets = np.arange(self.n_sets, dtype=np.int64)
+        local, upids, mult = self.set_instances(sets)
+        good = np.ones(len(upids), dtype=bool)
+        keys, cnts = self._set_pair_lists(
+            sets, local, upids, mult, good, self.set_w
+        )
+        fl, comp, cnt = self._pairs_to_flows(
+            self.n_sets, self.set_of_flow, keys, cnts
+        )
+        contrib = self.wt[fl] * self.nll(cnt, fl)
         return np.bincount(comp, weights=contrib, minlength=self.n_comps).astype(
             np.float64
         )
@@ -202,28 +397,46 @@ class VectorJleState(VectorArrays):
         total = 0.0
         flows = self.comp_flows(comp)
         if len(flows):
-            local, pids = self.flow_instances(flows)
-            path_has = np.zeros(self.problem.n_paths, dtype=bool)
-            path_has[self.comp_paths(comp)] = True
-            nf_new = self.path_nfailed[pids] - path_has[pids]
-            b_new = np.bincount(
-                local,
-                weights=(nf_new > 0).astype(np.float64),
-                minlength=len(flows),
+            aff_sets, fsl = np.unique(
+                self.set_of_flow[flows], return_inverse=True
             )
-            b_old = self.flow_b[flows].astype(np.float64)
-            w = self.w[flows]
-            s = self.s[flows]
-            diff = normalized_flow_ll_vec(b_new, w, s) - normalized_flow_ll_vec(
-                b_old, w, s
+            local, upids, mult = self.set_instances(aff_sets)
+            has = self._membership(comp, aff_sets, local, upids)
+            nf_new = (
+                self._path_nfailed[upids]
+                + self._set_e_nfailed[aff_sets][local]
+                - has
             )
+            b_new_set = np.bincount(
+                local, weights=mult * (nf_new > 0), minlength=len(aff_sets)
+            )
+            b_new = b_new_set[fsl]
+            b_old = self._set_b[aff_sets][fsl].astype(np.float64)
+            diff = self.nll(b_new, flows) - self.nll(b_old, flows)
             total = float(np.dot(self.wt[flows], diff))
         return total - float(self.prior_gain[comp])
+
+    def _membership(
+        self,
+        comp: int,
+        aff_sets: np.ndarray,
+        local: np.ndarray,
+        upids: np.ndarray,
+    ) -> np.ndarray:
+        """Bool per member instance: does its full path contain comp?"""
+        path_has = np.zeros(self.n_kernel_paths, dtype=bool)
+        path_has[self.comp_paths(comp)] = True
+        out = path_has[upids]
+        esets = self.comp_esets(comp)
+        if len(esets):
+            e_has = np.zeros(len(aff_sets), dtype=bool)
+            e_has[np.searchsorted(aff_sets, esets)] = True
+            out |= e_has[local]
+        return out
 
     # ------------------------------------------------------------------
     def flip(self, comp: int) -> float:
         """Flip ``comp``; returns the (data + prior) LL change."""
-        problem = self.problem
         if not 0 <= comp < self.n_comps:
             raise InferenceError(f"component id {comp} out of range")
         adding = comp not in self.hypothesis
@@ -232,59 +445,67 @@ class VectorJleState(VectorArrays):
 
         affected = self.comp_flows(comp)
         paths_of_comp = self.comp_paths(comp)
+        esets_of_comp = self.comp_esets(comp)
         step = 1 if adding else -1
         if len(affected) > 0:
-            af_local, af_pid = self.flow_instances(affected)
-
-            path_has = np.zeros(problem.n_paths, dtype=bool)
-            path_has[paths_of_comp] = True
-            nf_old = self.path_nfailed[af_pid]
-            nf_new = nf_old + step * path_has[af_pid]
+            aff_sets, fsl = np.unique(
+                self.set_of_flow[affected], return_inverse=True
+            )
+            local, upids, mult = self.set_instances(aff_sets)
+            has = self._membership(comp, aff_sets, local, upids)
+            nf_old = (
+                self._path_nfailed[upids] + self._set_e_nfailed[aff_sets][local]
+            )
+            nf_new = nf_old + step * has
             old_failed = nf_old > 0
             new_failed = nf_new > 0
 
-            b_old = self.flow_b[affected].astype(np.float64)
-            b_shift = np.bincount(
-                af_local,
-                weights=(new_failed.astype(np.float64) - old_failed),
-                minlength=len(affected),
+            b_old_set = np.bincount(
+                local, weights=mult * old_failed, minlength=len(aff_sets)
             )
-            b_new = b_old + b_shift
-
-            w = self.w[affected]
-            s = self.s[affected]
+            b_new_set = np.bincount(
+                local, weights=mult * new_failed, minlength=len(aff_sets)
+            )
+            b_old = b_old_set[fsl]
+            b_new = b_new_set[fsl]
             wt = self.wt[affected]
-            base_old = normalized_flow_ll_vec(b_old, w, s)
-            base_new = normalized_flow_ll_vec(b_new, w, s)
+            base_old = self.nll(b_old, affected)
+            base_new = self.nll(b_new, affected)
 
-            good_old = ~old_failed
-            if np.any(good_old):
-                fl, comps_u, cnt = self.pair_counts(
-                    af_local[good_old], af_pid[good_old]
+            good_old_count = self.set_w[aff_sets] - b_old_set
+            if np.any(good_old_count > 0):
+                keys, cnts = self._set_pair_lists(
+                    aff_sets, local, upids, mult, ~old_failed, good_old_count
+                )
+                fl, comps_u, cnt = self._pairs_to_flows(
+                    len(aff_sets), fsl, keys, cnts
                 )
                 contrib = wt[fl] * (
-                    normalized_flow_ll_vec(b_old[fl] + cnt, w[fl], s[fl])
-                    - base_old[fl]
+                    self.nll(b_old[fl] + cnt, affected[fl]) - base_old[fl]
                 )
                 self.delta -= np.bincount(
                     comps_u, weights=contrib, minlength=self.n_comps
                 )
-            good_new = ~new_failed
-            if np.any(good_new):
-                fl, comps_u, cnt = self.pair_counts(
-                    af_local[good_new], af_pid[good_new]
+            good_new_count = self.set_w[aff_sets] - b_new_set
+            if np.any(good_new_count > 0):
+                keys, cnts = self._set_pair_lists(
+                    aff_sets, local, upids, mult, ~new_failed, good_new_count
+                )
+                fl, comps_u, cnt = self._pairs_to_flows(
+                    len(aff_sets), fsl, keys, cnts
                 )
                 contrib = wt[fl] * (
-                    normalized_flow_ll_vec(b_new[fl] + cnt, w[fl], s[fl])
-                    - base_new[fl]
+                    self.nll(b_new[fl] + cnt, affected[fl]) - base_new[fl]
                 )
                 self.delta += np.bincount(
                     comps_u, weights=contrib, minlength=self.n_comps
                 )
 
-            self.flow_b[affected] = b_new.astype(np.int64)
+            self._set_b[aff_sets] = b_new_set.astype(np.int64)
 
-        self.path_nfailed[paths_of_comp] += step
+        self._path_nfailed[paths_of_comp] += step
+        if len(esets_of_comp):
+            self._set_e_nfailed[esets_of_comp] += step
         if adding:
             self.hypothesis.add(comp)
         else:
@@ -299,7 +520,12 @@ class VectorJleState(VectorArrays):
 
 class VectorGreedyWithoutJle(VectorArrays):
     """Greedy search pricing every candidate from scratch each iteration
-    (the "greedy only" ablation arm, on the shared vector substrate)."""
+    (the "greedy only" ablation arm, on the shared vector substrate).
+
+    Candidates are pruned with the :meth:`VectorArrays
+    .addition_upper_bounds` array: a component whose bound cannot beat
+    the running best gain is skipped without pricing, which leaves the
+    selected hypothesis unchanged (the bound over-estimates)."""
 
     name = "flock-greedy-only"
 
@@ -310,51 +536,61 @@ class VectorGreedyWithoutJle(VectorArrays):
         max_failures: Optional[int] = None,
     ) -> None:
         super().__init__(problem, params)
-        self.path_nfailed = np.zeros(problem.n_paths, dtype=np.int64)
-        self.flow_b = np.zeros(problem.n_flows, dtype=np.int64)
+        self._path_nfailed = np.zeros(self.n_kernel_paths, dtype=np.int64)
+        self._set_e_nfailed = np.zeros(self.n_sets, dtype=np.int64)
+        self._set_b = np.zeros(self.n_sets, dtype=np.int64)
         self.hypothesis: Set[int] = set()
         self.ll = 0.0
         self._cap = max_failures
+
+    def _newly_bad_counts(
+        self, comp: int, flows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(affected sets, per-set newly-failed count, flow set index)."""
+        aff_sets, fsl = np.unique(self.set_of_flow[flows], return_inverse=True)
+        local, upids, mult = self.set_instances(aff_sets)
+        path_has = np.zeros(self.n_kernel_paths, dtype=bool)
+        path_has[self.comp_paths(comp)] = True
+        has = path_has[upids]
+        esets = self.comp_esets(comp)
+        if len(esets):
+            e_has = np.zeros(len(aff_sets), dtype=bool)
+            e_has[np.searchsorted(aff_sets, esets)] = True
+            has = has | e_has[local]
+        nf = self._path_nfailed[upids] + self._set_e_nfailed[aff_sets][local]
+        newly_bad = has & (nf == 0)
+        extra_set = np.bincount(
+            local, weights=mult * newly_bad, minlength=len(aff_sets)
+        )
+        return aff_sets, extra_set, fsl
 
     def candidate_gain(self, comp: int) -> float:
         """LL(H + comp) - LL(H), recomputed over flows(comp)."""
         flows = self.comp_flows(comp)
         if not len(flows):
             return float(self.prior_gain[comp])
-        local, pids = self.flow_instances(flows)
-        path_has = np.zeros(self.problem.n_paths, dtype=bool)
-        path_has[self.comp_paths(comp)] = True
-        newly_bad = path_has[pids] & (self.path_nfailed[pids] == 0)
-        extra = np.bincount(
-            local, weights=newly_bad.astype(np.float64), minlength=len(flows)
-        )
-        b_old = self.flow_b[flows].astype(np.float64)
-        w = self.w[flows]
-        s = self.s[flows]
-        diff = normalized_flow_ll_vec(b_old + extra, w, s) - normalized_flow_ll_vec(
-            b_old, w, s
-        )
+        aff_sets, extra_set, fsl = self._newly_bad_counts(comp, flows)
+        b_old = self._set_b[aff_sets][fsl].astype(np.float64)
+        extra = extra_set[fsl]
+        diff = self.nll(b_old + extra, flows) - self.nll(b_old, flows)
         return float(np.dot(self.wt[flows], diff) + self.prior_gain[comp])
 
     def commit(self, comp: int, gain: float) -> None:
-        pid_arr = self.comp_paths(comp)
         flows = self.comp_flows(comp)
         if len(flows):
-            local, pids = self.flow_instances(flows)
-            path_has = np.zeros(self.problem.n_paths, dtype=bool)
-            path_has[pid_arr] = True
-            newly_bad = path_has[pids] & (self.path_nfailed[pids] == 0)
-            extra = np.bincount(
-                local, weights=newly_bad.astype(np.float64), minlength=len(flows)
-            ).astype(np.int64)
-            self.flow_b[flows] += extra
-        self.path_nfailed[pid_arr] += 1
+            aff_sets, extra_set, _ = self._newly_bad_counts(comp, flows)
+            self._set_b[aff_sets] += extra_set.astype(np.int64)
+        self._path_nfailed[self.comp_paths(comp)] += 1
+        esets = self.comp_esets(comp)
+        if len(esets):
+            self._set_e_nfailed[esets] += 1
         self.hypothesis.add(comp)
         self.ll += gain
 
     def run(self) -> Prediction:
         candidates = list(self.problem.observed_components)
         cap = self._cap if self._cap is not None else len(candidates)
+        ub = self.addition_upper_bounds()
         scanned = 0
         scores: Dict[int, float] = {}
         while len(self.hypothesis) < cap:
@@ -362,6 +598,10 @@ class VectorGreedyWithoutJle(VectorArrays):
             best_gain = 0.0
             for comp in candidates:
                 if comp in self.hypothesis:
+                    continue
+                if ub[comp] <= best_gain:
+                    # The bound caps the exact gain, so this candidate
+                    # cannot strictly beat the current best.
                     continue
                 scanned += 1
                 gain = self.candidate_gain(comp)

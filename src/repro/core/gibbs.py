@@ -11,11 +11,20 @@ conditional is exactly the JLE flip gain (data Δ + prior), so a step
 costs only O(flows(comp) * T) on the incrementally-maintained state.
 After burn-in, per-component marginal inclusion frequencies are
 thresholded into a prediction.
-"""
+
+Sweeps run *batched* by default: between flips the JLE state is
+constant, so the flip gains of a whole sweep segment are one vectorized
+gather from the Δ array, the accept probabilities one vectorized
+sigmoid, and the segment's first state change is found with a single
+argmax instead of a Python-level step loop.  Removal gains (the only
+per-step kernel work) are memoized until the next flip invalidates
+them, since they are pure functions of the chain state.  The batched
+chain visits the identical (component, uniform) sequence as the
+sequential one, so predictions match step for step;
+``batch_sweeps=False`` keeps the sequential loop for the equivalence
+test."""
 
 from __future__ import annotations
-
-import math
 
 import numpy as np
 
@@ -26,11 +35,23 @@ from .params import DEFAULT_PER_PACKET, FlockParams
 from .problem import InferenceProblem
 
 
+def _sigmoid_vec(x: np.ndarray) -> np.ndarray:
+    """Numerically-stable sigmoid, two-branch form per element.
+
+    Both sweep modes (batched and sequential) evaluate acceptance
+    probabilities through this one implementation, so their chains
+    cannot diverge over exp() rounding differences.
+    """
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    e = np.exp(x[~pos])
+    out[~pos] = e / (1.0 + e)
+    return out
+
+
 def _sigmoid(x: float) -> float:
-    if x >= 0:
-        return 1.0 / (1.0 + math.exp(-x))
-    e = math.exp(x)
-    return e / (1.0 + e)
+    return float(_sigmoid_vec(np.asarray([x]))[0])
 
 
 class GibbsInference:
@@ -45,6 +66,7 @@ class GibbsInference:
         burn_in: int = 10,
         threshold: float = 0.5,
         seed: int = 0,
+        batch_sweeps: bool = True,
     ) -> None:
         if sweeps <= burn_in:
             raise InferenceError("sweeps must exceed burn_in")
@@ -55,6 +77,7 @@ class GibbsInference:
         self._burn_in = burn_in
         self._threshold = threshold
         self._seed = seed
+        self._batch_sweeps = batch_sweeps
 
     def localize(self, problem: InferenceProblem) -> Prediction:
         rng = np.random.default_rng(self._seed)
@@ -68,6 +91,17 @@ class GibbsInference:
         # chain itself is sequential (it is the Markov chain).
         in_hyp = np.zeros(problem.n_components, dtype=bool)
         inclusion = np.zeros(problem.n_components, dtype=np.int64)
+        # Removal gains are pure functions of the chain state, so they
+        # stay valid until the next flip.
+        removal_cache: dict = {}
+
+        def removal_gain(comp: int) -> float:
+            gain = removal_cache.get(comp)
+            if gain is None:
+                gain = state.removal_gain(comp)
+                removal_cache[comp] = gain
+            return gain
+
         kept_samples = 0
         for sweep in range(self._sweeps):
             order = rng.permutation(len(candidates))
@@ -75,18 +109,15 @@ class GibbsInference:
             # arrays element-wise, so the stream matches the historical
             # per-step rng.random() calls exactly.
             draws = rng.random(len(candidates))
-            for step, idx in enumerate(order.tolist()):
-                comp = int(candidates[idx])
-                if in_hyp[comp]:
-                    # gain of removing; P(failed | rest) via the reverse flip
-                    log_odds_failed = -state.removal_gain(comp)
-                else:
-                    log_odds_failed = state.gain(comp)
-                p_failed = _sigmoid(log_odds_failed)
-                want_failed = draws[step] < p_failed
-                if want_failed != in_hyp[comp]:
-                    state.flip(comp)
-                    in_hyp[comp] = want_failed
+            if self._batch_sweeps:
+                self._run_sweep_batched(
+                    state, candidates, order, draws, in_hyp,
+                    removal_gain, removal_cache,
+                )
+            else:
+                self._run_sweep_sequential(
+                    state, candidates, order, draws, in_hyp,
+                )
             if sweep >= self._burn_in:
                 kept_samples += 1
                 inclusion[in_hyp] += 1
@@ -105,3 +136,51 @@ class GibbsInference:
             log_likelihood=float(state.ll),
             hypotheses_scanned=state.flips * 1,
         )
+
+    @staticmethod
+    def _run_sweep_batched(
+        state, candidates, order, draws, in_hyp, removal_gain, removal_cache
+    ) -> None:
+        """One sweep, vectorized between flips.
+
+        While no flip happens the state - and hence every step's flip
+        gain - is constant, so the whole remaining segment's decisions
+        are computed at once and only the first state change is applied
+        before rescanning the tail.
+        """
+        comps_in_order = candidates[order]
+        n = len(order)
+        pos = 0
+        while pos < n:
+            seg = comps_in_order[pos:]
+            member = in_hyp[seg]
+            log_odds = state.delta[seg] + state.prior_gain[seg]
+            if np.any(member):
+                for j in np.nonzero(member)[0].tolist():
+                    log_odds[j] = -removal_gain(int(seg[j]))
+            p_failed = _sigmoid_vec(log_odds)
+            flips = (draws[pos:] < p_failed) != member
+            if not flips.any():
+                return
+            j = int(np.argmax(flips))
+            comp = int(seg[j])
+            state.flip(comp)
+            in_hyp[comp] = not in_hyp[comp]
+            removal_cache.clear()
+            pos += j + 1
+
+    @staticmethod
+    def _run_sweep_sequential(state, candidates, order, draws, in_hyp) -> None:
+        """The historical one-step-at-a-time chain (reference path)."""
+        for step, idx in enumerate(order.tolist()):
+            comp = int(candidates[idx])
+            if in_hyp[comp]:
+                # gain of removing; P(failed | rest) via the reverse flip
+                log_odds_failed = -state.removal_gain(comp)
+            else:
+                log_odds_failed = state.gain(comp)
+            p_failed = _sigmoid(log_odds_failed)
+            want_failed = draws[step] < p_failed
+            if want_failed != in_hyp[comp]:
+                state.flip(comp)
+                in_hyp[comp] = want_failed

@@ -98,6 +98,23 @@ def _first_seen_unique_rows(*cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 class InferenceProblem:
     """Immutable, indexed view of a telemetry snapshot.
 
+    Two representations share this class:
+
+    * **Uncompressed** (``compressed == False``): every flow's path set
+      enumerates full per-host-pair component projections.  This is
+      what :meth:`from_observations` builds and what the object views
+      expose either way.
+    * **Compressed** (``compressed == True``, built by
+      :meth:`from_batch`): a flow's path set is stored as *endpoint
+      components* (the host links, present on every member path) plus a
+      reference to an *interior path set* shared by every host pair of
+      the same rack pair.  The problem's path table then holds unique
+      interior projections instead of ~pairs x ~w full projections -
+      at the paper's simulation scale this collapses ~9M distinct
+      component paths to a few hundred thousand.  Interior members are
+      de-duplicated per set with an integer multiplicity column; the
+      vectorized kernels (:mod:`repro.core.flock_fast`) weight by it.
+
     Attributes
     ----------
     n_components:
@@ -105,12 +122,9 @@ class InferenceProblem:
     n_links:
         Boundary between link ids and device ids.
     path_comps / path_off:
-        CSR of component ids per interned path (sorted, de-duplicated
-        per path).
-    flow_pids / flow_off:
-        CSR of interned path ids per (grouped) flow, with multiplicity
-        (``w`` = segment length; a path id may repeat when two ECMP
-        node paths map to the same component set).
+        CSR of component ids per problem path (sorted, de-duplicated
+        per path).  Compressed problems store interior projections
+        here (plus full projections of exact-path flows).
     bad_packets / packets_sent / weights:
         Aligned int arrays: ``r``, ``t`` and the group multiplicity.
     exact:
@@ -118,7 +132,9 @@ class InferenceProblem:
     flow_paths / path_table / flows_by_comp / paths_by_comp /
     comps_by_flow / path_component_sets:
         Lazy object views over the arrays (reference engines and
-        baselines); identical contents to the historical eager build.
+        baselines); identical contents to the historical eager build -
+        compressed problems expand to the uncompressed view on first
+        access.
     """
 
     def __init__(
@@ -204,20 +220,48 @@ class InferenceProblem:
         n_flows = len(set_of_flow)
         n_sets = len(set_off) - 1
         n_paths = len(self.path_off) - 1
+        self.compressed = False
         self._set_of_flow = set_of_flow
         self._set_pids = set_pids
         self._set_off = set_off
 
-        # flow -> path ids CSR (gather each flow's set segment).
-        set_lens = np.diff(set_off)
-        flow_lens = set_lens[set_of_flow]
-        self.flow_off = np.zeros(n_flows + 1, dtype=np.int64)
-        np.cumsum(flow_lens, out=self.flow_off[1:])
-        self.flow_pids = set_pids[
-            _expand_slices(set_off[set_of_flow], flow_lens)
-        ]
+        self._init_comp_paths(n_paths)
 
-        # component -> paths: stable sort keeps pids ascending per key.
+        # Per-set sorted component unions via one unique over packed
+        # (set, component) keys.
+        set_lens = np.diff(set_off)
+        pc_lens = np.diff(self.path_off)
+        inst_counts = pc_lens[set_pids]
+        inst_set = np.repeat(
+            np.repeat(np.arange(n_sets, dtype=np.int64), set_lens), inst_counts
+        )
+        inst_comp = self.path_comps[
+            _expand_slices(self.path_off[set_pids], inst_counts)
+        ]
+        keys = np.unique(inst_set * n_comps + inst_comp)
+        self._set_union_comps: Optional[np.ndarray] = keys % n_comps
+        sets_u = keys // n_comps
+        self._set_union_bounds: Optional[np.ndarray] = np.searchsorted(
+            sets_u, np.arange(n_sets + 1, dtype=np.int64)
+        )
+
+        self._init_comp_flows(set_of_flow, n_flows)
+
+        # Unified set layer: the uncompressed problem is the trivial
+        # factoring - every set is its own interior set with no
+        # endpoint components.
+        empty = np.zeros(n_sets + 1, dtype=np.int64)
+        self._init_unified(
+            set_ecomps=np.empty(0, dtype=np.int64),
+            set_eoff=empty,
+            iset_of_set=np.arange(n_sets, dtype=np.int64),
+            iset_raw_pids=set_pids,
+            iset_raw_off=set_off,
+        )
+        self._init_views()
+
+    def _init_comp_paths(self, n_paths: int) -> None:
+        """component -> paths: stable sort keeps pids ascending per key."""
         pc_lens = np.diff(self.path_off)
         pid_of = np.repeat(np.arange(n_paths, dtype=np.int64), pc_lens)
         order = np.argsort(self.path_comps, kind="stable")
@@ -227,24 +271,9 @@ class InferenceProblem:
             self._comp_path_keys, np.arange(self.n_components + 1, dtype=np.int64)
         )
 
-        # Per-set sorted component unions via one unique over packed
-        # (set, component) keys.
-        inst_counts = pc_lens[set_pids]
-        inst_set = np.repeat(
-            np.repeat(np.arange(n_sets, dtype=np.int64), set_lens), inst_counts
-        )
-        inst_comp = self.path_comps[
-            _expand_slices(self.path_off[set_pids], inst_counts)
-        ]
-        keys = np.unique(inst_set * n_comps + inst_comp)
-        self._set_union_comps = keys % n_comps
-        sets_u = keys // n_comps
-        self._set_union_bounds = np.searchsorted(
-            sets_u, np.arange(n_sets + 1, dtype=np.int64)
-        )
-
-        # component -> flows: expand per-set unions back to flows; a
-        # stable sort by component keeps flows ascending per key.
+    def _init_comp_flows(self, set_of_flow: np.ndarray, n_flows: int) -> None:
+        """component -> flows: expand per-set unions back to flows; a
+        stable sort by component keeps flows ascending per key."""
         union_lens = np.diff(self._set_union_bounds)
         flow_counts = union_lens[set_of_flow]
         inst_flow = np.repeat(np.arange(n_flows, dtype=np.int64), flow_counts)
@@ -258,6 +287,70 @@ class InferenceProblem:
             self._comp_flow_keys, np.arange(self.n_components + 1, dtype=np.int64)
         )
 
+    def _init_unified(
+        self,
+        set_ecomps: np.ndarray,
+        set_eoff: np.ndarray,
+        iset_of_set: np.ndarray,
+        iset_raw_pids: np.ndarray,
+        iset_raw_off: np.ndarray,
+    ) -> None:
+        """Store the set layer the vectorized kernels consume.
+
+        Sets reference shared *interior sets* (``iset``); interior
+        members are de-duplicated with an integer multiplicity column.
+        ``set_ecomps`` holds each set's endpoint components (sorted,
+        disjoint from every member's interior components; empty for
+        uncompressed problems).
+        """
+        n_sets = len(iset_of_set)
+        n_isets = len(iset_raw_off) - 1
+        n_paths = max(1, len(self.path_off) - 1)
+        self._set_ecomps = set_ecomps
+        self._set_eoff = set_eoff
+        self._iset_of_set = iset_of_set
+        self._iset_raw_pids = iset_raw_pids
+        self._iset_raw_off = iset_raw_off
+
+        # Unique members + multiplicity per interior set (member order
+        # inside a set does not matter to any kernel sum: pair counts
+        # re-sort by component and failed-path counts are exact integer
+        # sums).
+        raw_lens = np.diff(iset_raw_off)
+        if len(iset_raw_pids):
+            raw_iset = np.repeat(np.arange(n_isets, dtype=np.int64), raw_lens)
+            ukeys, mult = np.unique(
+                raw_iset * np.int64(n_paths) + iset_raw_pids, return_counts=True
+            )
+            self._iset_upids = ukeys % n_paths
+            self._iset_uoff = np.searchsorted(
+                ukeys // n_paths, np.arange(n_isets + 1, dtype=np.int64)
+            )
+            self._iset_umult = mult.astype(np.int64)
+        else:
+            self._iset_upids = np.empty(0, dtype=np.int64)
+            self._iset_umult = np.empty(0, dtype=np.int64)
+            self._iset_uoff = np.zeros(n_isets + 1, dtype=np.int64)
+        self._set_w = raw_lens[iset_of_set]
+
+        # component -> sets blaming it through an endpoint component.
+        if len(set_ecomps):
+            e_sets = np.repeat(
+                np.arange(n_sets, dtype=np.int64), np.diff(set_eoff)
+            )
+            ekeys = np.sort(set_ecomps * np.int64(n_sets) + e_sets)
+            self._comp_eset_vals = ekeys % n_sets
+            self._comp_eset_bounds = np.searchsorted(
+                ekeys // n_sets,
+                np.arange(self.n_components + 1, dtype=np.int64),
+            )
+        else:
+            self._comp_eset_vals = np.empty(0, dtype=np.int64)
+            self._comp_eset_bounds = np.zeros(
+                self.n_components + 1, dtype=np.int64
+            )
+
+    def _init_views(self) -> None:
         self._flows_by_comp: Optional[Dict[int, List[int]]] = None
         self._paths_by_comp: Optional[Dict[int, List[int]]] = None
         self._comps_by_flow: Optional[List[Tuple[int, ...]]] = None
@@ -322,6 +415,7 @@ class InferenceProblem:
         batch: "ObservationBatch",
         n_components: int,
         n_links: int,
+        compressed: bool = True,
     ) -> "InferenceProblem":
         """Build the problem from a columnar observation batch.
 
@@ -330,6 +424,13 @@ class InferenceProblem:
         first-appearance order so groups - and the path table's local
         ids - come out exactly as :meth:`from_observations` would
         produce them for the same rows.
+
+        ``compressed=True`` (the default) keeps factored pair sets
+        factored: the problem's path table holds unique *interior*
+        projections shared across every host pair of a rack pair, plus
+        per-set endpoint components.  ``compressed=False`` expands
+        every set to full per-pair projections (the historical layout);
+        predictions are bit-identical between the two.
         """
         if n_links > n_components:
             raise InferenceError("n_links cannot exceed n_components")
@@ -343,6 +444,11 @@ class InferenceProblem:
             batch.path_set, batch.bad, batch.sent, batch.kind
         )
         rep_gsids = batch.path_set[rep_rows]
+
+        if compressed:
+            return cls._from_batch_compressed(
+                batch, n_components, n_links, rep_rows, counts, rep_gsids
+            )
 
         # Local path ids are assigned in first-appearance order, which
         # factors through path *sets*: a gid's first appearance is
@@ -401,6 +507,168 @@ class InferenceProblem:
             kinds=[KIND_ORDER[code] for code in batch.kind[rep_rows].tolist()],
         )
 
+    @classmethod
+    def _from_batch_compressed(
+        cls,
+        batch: "ObservationBatch",
+        n_components: int,
+        n_links: int,
+        rep_rows: np.ndarray,
+        counts: np.ndarray,
+        rep_gsids: np.ndarray,
+    ) -> "InferenceProblem":
+        """Compressed problem build: sets stay factored.
+
+        Each distinct path set contributes its endpoint components and
+        a reference to a shared interior member array
+        (:meth:`PathSpace.comp_set_parts`); the local path table interns
+        only distinct interior/exact projections.  At paper scale this
+        is what keeps the build - and every kernel that runs on it -
+        tractable.
+        """
+        from ..telemetry.inputs import KIND_ORDER
+
+        space = batch.space
+        ordered_gsids, set_of_flow = first_seen_ids(rep_gsids)
+        n_sets = len(ordered_gsids)
+
+        iset_index: Dict[Tuple, int] = {}
+        iset_members: List[np.ndarray] = []
+        iset_of_set = np.empty(n_sets, dtype=np.int64)
+        e_segments: List[np.ndarray] = []
+        parts = space.comp_set_parts
+        for k, g in enumerate(ordered_gsids.tolist()):
+            ecomps, members, key = parts(int(g))
+            iid = iset_index.get(key)
+            if iid is None:
+                iid = len(iset_members)
+                iset_index[key] = iid
+                iset_members.append(members)
+            iset_of_set[k] = iid
+            e_segments.append(ecomps)
+
+        e_lens = np.fromiter(
+            (len(e) for e in e_segments), dtype=np.int64, count=n_sets
+        )
+        set_eoff = np.zeros(n_sets + 1, dtype=np.int64)
+        np.cumsum(e_lens, out=set_eoff[1:])
+        set_ecomps = (
+            np.concatenate(e_segments) if set_eoff[-1]
+            else np.empty(0, dtype=np.int64)
+        )
+
+        m_lens = np.fromiter(
+            (len(m) for m in iset_members),
+            dtype=np.int64,
+            count=len(iset_members),
+        )
+        iset_raw_off = np.zeros(len(iset_members) + 1, dtype=np.int64)
+        np.cumsum(m_lens, out=iset_raw_off[1:])
+        flat_gids = (
+            np.concatenate(iset_members) if iset_members
+            else np.empty(0, dtype=np.int64)
+        )
+        local_gids, iset_raw_pids = first_seen_ids(flat_gids)
+
+        cc_flat, cc_off = space.comp_csr()
+        path_lens = cc_off[local_gids + 1] - cc_off[local_gids]
+        path_off = np.zeros(len(local_gids) + 1, dtype=np.int64)
+        np.cumsum(path_lens, out=path_off[1:])
+        path_comps = cc_flat[_expand_slices(cc_off[local_gids], path_lens)]
+
+        if space.topology.n_components != n_components:
+            for arr in (path_comps, set_ecomps):
+                if len(arr):
+                    bad_mask = (arr < 0) | (arr >= n_components)
+                    if np.any(bad_mask):
+                        raise InferenceError(
+                            f"component id {int(arr[bad_mask][0])} outside "
+                            f"[0, {n_components})"
+                        )
+
+        self = cls.__new__(cls)
+        self.n_components = n_components
+        self.n_links = n_links
+        self.bad_packets = batch.bad[rep_rows].astype(np.int64)
+        self.packets_sent = batch.sent[rep_rows].astype(np.int64)
+        self.weights = counts.astype(np.int64)
+        self.kinds = [KIND_ORDER[code] for code in batch.kind[rep_rows].tolist()]
+        self._path_table = None
+        self._flow_paths = None
+        self._path_component_sets = None
+        self.path_comps = path_comps
+        self.path_off = path_off
+        self._finish_compressed(
+            set_of_flow, set_ecomps, set_eoff,
+            iset_of_set, iset_raw_pids, iset_raw_off,
+        )
+        self.exact = self._set_w[set_of_flow] == 1
+        return self
+
+    def _finish_compressed(
+        self,
+        set_of_flow: np.ndarray,
+        set_ecomps: np.ndarray,
+        set_eoff: np.ndarray,
+        iset_of_set: np.ndarray,
+        iset_raw_pids: np.ndarray,
+        iset_raw_off: np.ndarray,
+    ) -> None:
+        """Indexes for the compressed layout, interior-set granular."""
+        n_comps = np.int64(self.n_components)
+        n_flows = len(set_of_flow)
+        n_sets = len(iset_of_set)
+        n_isets = len(iset_raw_off) - 1
+        n_paths = len(self.path_off) - 1
+        self.compressed = True
+        self._set_of_flow = set_of_flow
+        self._set_pids = None
+        self._set_off = None
+        self._init_comp_paths(n_paths)
+        self._init_unified(
+            set_ecomps, set_eoff, iset_of_set, iset_raw_pids, iset_raw_off
+        )
+
+        # Sorted component unions per interior set (work is per iset,
+        # not per set - the compression's whole point).
+        pc_lens = np.diff(self.path_off)
+        u_lens = np.diff(self._iset_uoff)
+        inst_counts = pc_lens[self._iset_upids]
+        inst_iset = np.repeat(
+            np.repeat(np.arange(n_isets, dtype=np.int64), u_lens), inst_counts
+        )
+        inst_comp = self.path_comps[
+            _expand_slices(self.path_off[self._iset_upids], inst_counts)
+        ]
+        ukeys = np.unique(inst_iset * n_comps + inst_comp)
+        iu_comps = ukeys % n_comps
+        iu_bounds = np.searchsorted(
+            ukeys // n_comps, np.arange(n_isets + 1, dtype=np.int64)
+        )
+
+        # Per-set sorted unions = endpoint comps merged with the shared
+        # interior union (disjoint by construction: endpoints are host
+        # links, interiors are switch-level comps), via one global sort
+        # over packed keys.
+        e_lens = np.diff(set_eoff)
+        iu_set_lens = np.diff(iu_bounds)[iset_of_set]
+        set_ids = np.arange(n_sets, dtype=np.int64)
+        all_sets = np.concatenate([
+            np.repeat(set_ids, e_lens), np.repeat(set_ids, iu_set_lens),
+        ])
+        all_comps = np.concatenate([
+            set_ecomps,
+            iu_comps[_expand_slices(iu_bounds[iset_of_set], iu_set_lens)],
+        ])
+        skeys = np.sort(all_sets * n_comps + all_comps)
+        self._set_union_comps = skeys % n_comps
+        self._set_union_bounds = np.searchsorted(
+            skeys // n_comps, np.arange(n_sets + 1, dtype=np.int64)
+        )
+
+        self._init_comp_flows(set_of_flow, n_flows)
+        self._init_views()
+
     # ------------------------------------------------------------------
     # Array accessors (the vectorized kernels' interface)
     # ------------------------------------------------------------------
@@ -411,24 +679,81 @@ class InferenceProblem:
         ]
 
     def comp_path_ids(self, comp: int) -> np.ndarray:
-        """Interned paths containing ``comp`` (ascending, array view)."""
+        """Problem paths containing ``comp`` (ascending, array view).
+
+        Compressed problems index their interior/exact path table here;
+        endpoint components map to sets via :meth:`comp_eset_ids`
+        instead.
+        """
         return self._comp_path_vals[
             self._comp_path_bounds[comp]:self._comp_path_bounds[comp + 1]
+        ]
+
+    def comp_eset_ids(self, comp: int) -> np.ndarray:
+        """Sets carrying ``comp`` as an endpoint component (ascending)."""
+        return self._comp_eset_vals[
+            self._comp_eset_bounds[comp]:self._comp_eset_bounds[comp + 1]
         ]
 
     # ------------------------------------------------------------------
     # Lazy object views (reference engines, baselines, tests)
     # ------------------------------------------------------------------
+    def _materialize_object_paths(self) -> None:
+        """Expand a compressed problem to the uncompressed object view.
+
+        Full member projections are the (disjoint) union of each set's
+        endpoint comps and its interior projections; scanning sets in
+        first-seen order and members in raw member order reproduces
+        :meth:`from_observations`'s first-seen local ids exactly.
+        """
+        table = PathTable()
+        comps = self.path_comps.tolist()
+        path_off = self.path_off.tolist()
+        e_all = self._set_ecomps.tolist()
+        eoff = self._set_eoff.tolist()
+        raw = self._iset_raw_pids.tolist()
+        roff = self._iset_raw_off.tolist()
+        set_tuples: List[Tuple[int, ...]] = []
+        for s, iid in enumerate(self._iset_of_set.tolist()):
+            e = tuple(e_all[eoff[s]:eoff[s + 1]])
+            members = raw[roff[iid]:roff[iid + 1]]
+            if e:
+                ids = tuple(
+                    table.intern_canonical(
+                        tuple(sorted(
+                            e + tuple(comps[path_off[p]:path_off[p + 1]])
+                        ))
+                    )
+                    for p in members
+                )
+            else:
+                ids = tuple(
+                    table.intern_canonical(
+                        tuple(comps[path_off[p]:path_off[p + 1]])
+                    )
+                    for p in members
+                )
+            set_tuples.append(ids)
+        self._path_table = table
+        self._flow_paths = [
+            set_tuples[s] for s in self._set_of_flow.tolist()
+        ]
+
     @property
     def path_table(self) -> PathTable:
-        """Interning table of the problem's component paths (lazy)."""
+        """Interning table of the problem's *full* component paths
+        (lazy; object-view semantics, identical to
+        :meth:`from_observations` output either way)."""
         if self._path_table is None:
-            table = PathTable()
-            comps = self.path_comps.tolist()
-            for start, stop in zip(self.path_off[:-1].tolist(),
-                                   self.path_off[1:].tolist()):
-                table.intern_canonical(tuple(comps[start:stop]))
-            self._path_table = table
+            if self.compressed:
+                self._materialize_object_paths()
+            else:
+                table = PathTable()
+                comps = self.path_comps.tolist()
+                for start, stop in zip(self.path_off[:-1].tolist(),
+                                       self.path_off[1:].tolist()):
+                    table.intern_canonical(tuple(comps[start:stop]))
+                self._path_table = table
         return self._path_table
 
     @property
@@ -436,15 +761,18 @@ class InferenceProblem:
         """Per-flow interned path-id tuples (lazy; tuples are shared
         between flows with the same path set)."""
         if self._flow_paths is None:
-            pids = self._set_pids.tolist()
-            set_tuples = [
-                tuple(pids[start:stop])
-                for start, stop in zip(self._set_off[:-1].tolist(),
-                                       self._set_off[1:].tolist())
-            ]
-            self._flow_paths = [
-                set_tuples[s] for s in self._set_of_flow.tolist()
-            ]
+            if self.compressed:
+                self._materialize_object_paths()
+            else:
+                pids = self._set_pids.tolist()
+                set_tuples = [
+                    tuple(pids[start:stop])
+                    for start, stop in zip(self._set_off[:-1].tolist(),
+                                           self._set_off[1:].tolist())
+                ]
+                self._flow_paths = [
+                    set_tuples[s] for s in self._set_of_flow.tolist()
+                ]
         return self._flow_paths
 
     @property
@@ -468,11 +796,19 @@ class InferenceProblem:
 
     @property
     def paths_by_comp(self) -> Dict[int, List[int]]:
-        """{component: ascending path ids} (lazy view)."""
+        """{component: ascending path ids} (lazy view; object-view path
+        ids, i.e. full projections for compressed problems)."""
         if self._paths_by_comp is None:
-            self._paths_by_comp = _split_sorted(
-                self._comp_path_keys, self._comp_path_vals
-            )
+            if self.compressed:
+                out: Dict[int, List[int]] = {}
+                for pid, comps in enumerate(self.path_table):
+                    for comp in comps:
+                        out.setdefault(comp, []).append(pid)
+                self._paths_by_comp = out
+            else:
+                self._paths_by_comp = _split_sorted(
+                    self._comp_path_keys, self._comp_path_vals
+                )
         return self._paths_by_comp
 
     @property
@@ -505,6 +841,15 @@ class InferenceProblem:
 
     @property
     def n_paths(self) -> int:
+        """Number of *full* component paths (object-view semantics).
+
+        Reference engines size their per-path state by this and index
+        it with :attr:`flow_paths` ids; compressed problems therefore
+        report the materialized object table's size.  Kernels index the
+        compressed table via ``len(path_off) - 1`` instead.
+        """
+        if self.compressed:
+            return len(self.path_table)
         return len(self.path_off) - 1
 
     def is_device(self, comp: int) -> bool:
@@ -525,14 +870,16 @@ class InferenceProblem:
         return np.nonzero(self.exact)[0]
 
     def flow_pathset_size(self, flow: int) -> int:
-        return int(self.flow_off[flow + 1] - self.flow_off[flow])
+        return int(self._set_w[self._set_of_flow[flow]])
 
     def describe(self) -> str:
         """One-line summary, handy in logs and experiment reports."""
         observed = int(np.count_nonzero(np.diff(self._comp_flow_bounds)))
+        paths = len(self.path_off) - 1
+        kind = "interior paths" if self.compressed else "paths"
         return (
             f"InferenceProblem(flows={self.total_flows} grouped to "
-            f"{self.n_flows}, paths={self.n_paths}, "
+            f"{self.n_flows}, {kind}={paths}, "
             f"components={observed} observed of "
             f"{self.n_components})"
         )

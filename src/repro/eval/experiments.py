@@ -316,6 +316,59 @@ def build_fig2(preset: str, seed: int, ov: Overrides) -> ExperimentSpec:
 
 
 # ----------------------------------------------------------------------
+# Paper-scale Clos (the compressed-pipeline flagship workload)
+# ----------------------------------------------------------------------
+
+
+@register_experiment(
+    "paper-clos",
+    description="Paper-scale Clos silent drops (compressed pipeline demo)",
+    default_seed=61,
+    include_in_all=False,
+)
+def build_paper_clos(preset: str, seed: int, ov: Overrides) -> ExperimentSpec:
+    """Silent drops on the paper's simulation fabric at full scale.
+
+    At ``--preset paper`` this is the paper's actual setup - the
+    ``paper_simulation_clos`` 2496-link fabric with 400K passive flows
+    per trace - which only the compressed component-path pipeline can
+    build and localize; smaller presets scale the same workload down
+    for smoke tests.  One trace by default: the point is proving the
+    scale, not averaging accuracy.
+    """
+    scale = _scale(preset)
+    n_traces = ov.take("n_traces", 1)
+    schemes_csv = ov.take("schemes", "flock")
+    refs = tuple(
+        SchemeRef(name.strip(), spec="A1+A2+P" if name.strip() == "flock" else None)
+        for name in str(schemes_csv).split(",")
+    )
+    point = GridPoint(
+        topology=TopologySpec("standard", {"preset": preset}),
+        scenario=ScenarioSpec(
+            "silent-link-drops",
+            params={"n_failures": 3, "min_rate": 4e-3, "max_rate": 1e-2},
+        ),
+        trace=TraceSpec(
+            seeds=_seed_range(seed, n_traces),
+            n_passive=ov.take("n_passive", scale["n_passive"]),
+            n_probes=ov.take("n_probes", scale["n_probes"]),
+        ),
+        schemes=refs,
+    )
+    return ExperimentSpec(
+        name="paper-clos",
+        description="Paper-scale Clos silent drops (compressed pipeline demo)",
+        points=[point],
+        notes=(
+            "Tentpole workload: 3-tier Clos, 1536 hosts, 400K flows per "
+            "trace; ~9M distinct component paths compressed to ~250K "
+            "interior projections"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
 # Fig. 2c - device failures
 # ----------------------------------------------------------------------
 

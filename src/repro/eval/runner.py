@@ -31,6 +31,7 @@ not depend on the executor, the number of jobs, or completion order.
 
 from __future__ import annotations
 
+import copy
 import os
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -39,12 +40,90 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 
 EXECUTORS = ("serial", "thread", "process")
+
+
+# ----------------------------------------------------------------------
+# Process-executor world shipping
+# ----------------------------------------------------------------------
+#
+# A columnar trace's batch carries the routing-global PathSpace, whose
+# interned state grows with the whole experiment - pickling it with
+# every task made per-task IPC volume proportional to total interned
+# state.  Instead, each worker receives the shared (topology, routing)
+# "worlds" once through the pool initializer (the routing object owns
+# the PathSpace), and tasks ship *detached* trace clones that reference
+# a world by index.
+
+_WORKER_WORLDS: Optional[List[Tuple[object, object]]] = None
+
+
+def _init_worker_worlds(worlds: List[Tuple[object, object]]) -> None:
+    global _WORKER_WORLDS
+    _WORKER_WORLDS = worlds
+
+
+def detach_traces(traces: Sequence) -> Tuple[List[Tuple[object, object]], List]:
+    """(worlds, per-trace payloads) for process-pool submission.
+
+    A trace whose batch shares its routing's PathSpace is cloned with
+    the topology/routing/space stripped and a world index attached; any
+    other trace (records-only, or a hand-built batch over a private
+    space) ships unchanged.  Materialized record caches are dropped
+    from clones - workers re-derive them from the batch if needed.
+    """
+    worlds: List[Tuple[object, object]] = []
+    world_ids: Dict[int, int] = {}
+    payloads: List = []
+    for trace in traces:
+        batch = getattr(trace, "batch", None)
+        routing = getattr(trace, "routing", None)
+        space = getattr(routing, "_path_space", None)
+        if batch is None or space is None or batch.space is not space:
+            payloads.append(trace)
+            continue
+        key = id(routing)
+        idx = world_ids.get(key)
+        if idx is None:
+            idx = len(worlds)
+            world_ids[key] = idx
+            worlds.append((trace.topology, routing))
+        clone = copy.copy(trace)
+        clone.topology = None
+        clone.routing = None
+        clone.batch = dataclass_replace(batch, space=None)
+        clone._records = None
+        clone._detached_world = idx
+        payloads.append(clone)
+    return worlds, payloads
+
+
+def attach_trace(trace, worlds: Optional[List[Tuple[object, object]]] = None):
+    """Re-attach a detached trace to its worker-resident world.
+
+    No-op for traces that were never detached.  ``worlds`` defaults to
+    the pool-initializer state.
+    """
+    idx = getattr(trace, "_detached_world", None)
+    if idx is None:
+        return trace
+    if worlds is None:
+        worlds = _WORKER_WORLDS
+    if worlds is None:
+        raise ExperimentError(
+            "detached trace received outside an initialized worker"
+        )
+    topology, routing = worlds[idx]
+    trace.topology = topology
+    trace.routing = routing
+    trace.batch = dataclass_replace(trace.batch, space=routing.path_space())
+    trace._detached_world = None
+    return trace
 
 
 @dataclass(frozen=True)
@@ -164,6 +243,7 @@ def _run_trace_unit(setups, trace, use_cache: bool, keep_problems: bool = True):
     """
     from .harness import score_problem, timed_build
 
+    trace = attach_trace(trace)
     cache = ProblemCache()
     results = []
     for setup in setups:
@@ -201,10 +281,19 @@ class _SummaryAccumulator:
         return summarize(self._setup, results)
 
 
-def _make_pool(config: RunnerConfig) -> Executor:
+def _make_pool(
+    config: RunnerConfig,
+    worlds: Optional[List[Tuple[object, object]]] = None,
+) -> Executor:
     if config.executor == "thread":
         return ThreadPoolExecutor(max_workers=config.jobs)
-    return ProcessPoolExecutor(max_workers=config.jobs)
+    # Shared worlds (topology + routing + its PathSpace) ship once per
+    # worker via the initializer instead of once per task.
+    return ProcessPoolExecutor(
+        max_workers=config.jobs,
+        initializer=_init_worker_worlds,
+        initargs=(worlds or [],),
+    )
 
 
 def run_grid(
@@ -276,12 +365,16 @@ def run_grid(
             fold(idx, _run_trace_unit(setups, traces[idx], config.cache))
     else:
         keep_problems = config.executor != "process"
-        with _make_pool(config) as pool:
+        if config.executor == "process":
+            worlds, payloads = detach_traces(traces)
+        else:
+            worlds, payloads = [], list(traces)
+        with _make_pool(config, worlds) as pool:
             pending: Dict[object, int] = {}
             try:
                 for idx in indices:
                     future = pool.submit(
-                        _run_trace_unit, setups, traces[idx], config.cache,
+                        _run_trace_unit, setups, payloads[idx], config.cache,
                         keep_problems,
                     )
                     pending[future] = idx

@@ -33,6 +33,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 ComponentPath = Tuple[int, ...]
 
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
 
 def first_seen_ids(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Dense ids for ``values``, numbered in first-appearance order.
@@ -120,6 +122,63 @@ class PathSetTable:
         return iter(self._sets)
 
 
+class _FactoredSet:
+    """A host-pair path set stored without materializing its paths.
+
+    Every host pair in the same rack pair shares one switch-level path
+    set (``switch_sid``); only the two endpoint hops differ.  Member
+    node paths are ``(src,) + switch_path + (dst,)`` in switch-set
+    order - exactly what :meth:`EcmpRouting.host_paths` enumerates - but
+    they are interned lazily (:meth:`PathSpace.set_path_ids`) or one
+    member at a time (:meth:`PathSpace.member_pids`), so a paper-scale
+    trace never pays for the ~w paths x ~400K pairs expansion.
+    """
+
+    __slots__ = ("src", "dst", "switch_sid", "src_link", "dst_link", "pids")
+
+    def __init__(self, src: int, dst: int, switch_sid: int,
+                 src_link: int, dst_link: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.switch_sid = switch_sid
+        self.src_link = src_link
+        self.dst_link = dst_link
+        self.pids: Optional[np.ndarray] = None
+
+    def __getstate__(self):
+        return (self.src, self.dst, self.switch_sid,
+                self.src_link, self.dst_link, self.pids)
+
+    def __setstate__(self, state):
+        (self.src, self.dst, self.switch_sid,
+         self.src_link, self.dst_link, self.pids) = state
+
+
+class _FactoredCompSet:
+    """A component path set stored as endpoint comps + a shared interior.
+
+    ``ecomps`` are the component ids on *every* member path (the two
+    host links of the pair); ``switch_gsid`` is the component path-set
+    id of the rack pair's switch-level projections, shared by all host
+    pairs of the rack pair.  Full member projections materialize lazily
+    (:meth:`PathSpace.comp_set`); the compressed problem build consumes
+    the parts directly (:meth:`PathSpace.comp_set_parts`).
+    """
+
+    __slots__ = ("ecomps", "switch_gsid", "gids")
+
+    def __init__(self, ecomps: np.ndarray, switch_gsid: int) -> None:
+        self.ecomps = ecomps
+        self.switch_gsid = switch_gsid
+        self.gids: Optional[np.ndarray] = None
+
+    def __getstate__(self):
+        return (self.ecomps, self.switch_gsid, self.gids)
+
+    def __setstate__(self, state):
+        self.ecomps, self.switch_gsid, self.gids = state
+
+
 class _DenseCache:
     """A growable int64 array mapping dense ids to dense ids (-1 = miss).
 
@@ -186,9 +245,10 @@ class PathSpace:
         # Node paths and node path sets.
         self._paths: List[Tuple[int, ...]] = []
         self._path_index: Dict[Tuple[int, ...], int] = {}
-        self._sets: List[np.ndarray] = []
+        self._sets: List[object] = []  # np.ndarray | _FactoredSet
         self._set_index: Dict[Tuple[int, ...], int] = {}
         self._pair_sid: Dict[Tuple[int, int], int] = {}
+        self._rack_pair_sid: Dict[Tuple[int, int], int] = {}
         # Component projections (shared id space across device flags).
         self._comp_paths: List[ComponentPath] = []
         self._comp_index: Dict[ComponentPath, int] = {}
@@ -266,18 +326,105 @@ class PathSpace:
         return sid
 
     def set_path_ids(self, sid: int) -> np.ndarray:
-        """Path ids of a node path set, in interned order."""
-        return self._sets[sid]
+        """Path ids of a node path set, in interned order.
+
+        Factored pair sets materialize (and intern) their member paths
+        on first access; the hot pipeline never calls this for them.
+        """
+        entry = self._sets[sid]
+        if isinstance(entry, _FactoredSet):
+            if entry.pids is None:
+                with self._lock:
+                    if entry.pids is None:
+                        middles = self._sets[entry.switch_sid]
+                        pids = tuple(
+                            self.intern_path(
+                                (entry.src,) + self._paths[mid] + (entry.dst,)
+                            )
+                            for mid in middles.tolist()
+                        )
+                        self._set_index.setdefault(pids, sid)
+                        entry.pids = np.asarray(pids, dtype=np.int64)
+            return entry.pids
+        return entry
+
+    def set_is_factored(self, sid: int) -> bool:
+        return isinstance(self._sets[sid], _FactoredSet)
+
+    def set_factored(self, sid: int) -> _FactoredSet:
+        entry = self._sets[sid]
+        if not isinstance(entry, _FactoredSet):
+            raise TypeError(f"set {sid} is not a factored pair set")
+        return entry
+
+    def set_size(self, sid: int) -> int:
+        """Member count of a set, without materializing factored sets."""
+        entry = self._sets[sid]
+        if isinstance(entry, _FactoredSet):
+            return len(self._sets[entry.switch_sid])
+        return len(entry)
+
+    def member_pids(self, sid: int, choice: np.ndarray) -> np.ndarray:
+        """Path ids of the chosen members of a set.
+
+        For factored sets only the chosen members are interned (the
+        simulator picks one path per flow, so a trace materializes at
+        most one full node path per flow instead of the whole ~w-wide
+        candidate set per pair).
+        """
+        entry = self._sets[sid]
+        if isinstance(entry, _FactoredSet):
+            if entry.pids is not None:
+                return entry.pids[choice]
+            middles = self._sets[entry.switch_sid]
+            paths = self._paths
+            mapping = {
+                int(j): self.intern_path(
+                    (entry.src,) + paths[int(middles[int(j)])] + (entry.dst,)
+                )
+                for j in np.unique(choice).tolist()
+            }
+            return np.fromiter(
+                (mapping[j] for j in choice.tolist()),
+                dtype=np.int64,
+                count=len(choice),
+            )
+        return entry[choice]
 
     def pair_set(self, src: int, dst: int) -> int:
-        """The interned ECMP path set for a host pair."""
+        """The ECMP path set for a host pair, interned *factored*.
+
+        The set is stored as (src, dst, switch-level sid): every host
+        pair of a rack pair shares one switch-level path set, so the
+        per-pair cost is O(1) instead of O(paths).  Member order equals
+        :meth:`EcmpRouting.host_paths` order exactly.
+        """
         key = (src, dst)
         sid = self._pair_sid.get(key)
         if sid is None:
             with self._lock:
                 sid = self._pair_sid.get(key)
                 if sid is None:
-                    sid = self.intern_set(self.routing.host_paths(src, dst))
+                    topo = self.topology
+                    src_rack = topo.rack_of(src)
+                    dst_rack = topo.rack_of(dst)
+                    rkey = (src_rack, dst_rack)
+                    switch_sid = self._rack_pair_sid.get(rkey)
+                    if switch_sid is None:
+                        # switch_paths(a, a) is the trivial single-node
+                        # path, covering same-rack pairs.
+                        switch_sid = self.intern_set(
+                            self.routing.switch_paths(src_rack, dst_rack)
+                        )
+                        self._rack_pair_sid[rkey] = switch_sid
+                    sid = len(self._sets)
+                    self._sets.append(
+                        _FactoredSet(
+                            src, dst, switch_sid,
+                            topo.link_id(src, src_rack),
+                            topo.link_id(dst_rack, dst),
+                        )
+                    )
                     self._pair_sid[key] = sid
         return sid
 
@@ -330,10 +477,84 @@ class PathSpace:
                     self._comp_set_index[key] = gsid
         return gsid
 
+    def intern_factored_comp_set(
+        self, ecomps: Tuple[int, ...], switch_gsid: int
+    ) -> int:
+        """Intern a component path set as endpoint comps + shared interior.
+
+        ``ecomps`` (sorted component ids, present on every member path)
+        plus the rack pair's interior projection set ``switch_gsid``
+        describe the full set without enumerating per-pair projections.
+        """
+        key = ("f", ecomps, switch_gsid)
+        gsid = self._comp_set_index.get(key)
+        if gsid is None:
+            with self._lock:
+                gsid = self._comp_set_index.get(key)
+                if gsid is None:
+                    gsid = len(self._comp_sets)
+                    self._comp_sets.append(
+                        _FactoredCompSet(
+                            np.asarray(ecomps, dtype=np.int64), switch_gsid
+                        )
+                    )
+                    self._comp_set_index[key] = gsid
+        return gsid
+
     def comp_set(self, gsid: int) -> np.ndarray:
         """Component-path ids of one component path set (ordered, with
-        multiplicity - two ECMP node paths may share a projection)."""
-        return self._comp_sets[gsid]
+        multiplicity - two ECMP node paths may share a projection).
+
+        Factored sets expand lazily: each member's full projection is
+        the (disjoint) union of the endpoint comps and one interior
+        projection.  Only adapters and lazy object views call this for
+        factored sets; the compressed pipeline uses
+        :meth:`comp_set_parts`.
+        """
+        entry = self._comp_sets[gsid]
+        if isinstance(entry, _FactoredCompSet):
+            if entry.gids is None:
+                with self._lock:
+                    if entry.gids is None:
+                        interior = self.comp_set(entry.switch_gsid)
+                        e = tuple(entry.ecomps.tolist())
+                        entry.gids = np.fromiter(
+                            (
+                                self.intern_components(
+                                    e + self._comp_paths[int(g)]
+                                )
+                                for g in interior.tolist()
+                            ),
+                            dtype=np.int64,
+                            count=len(interior),
+                        )
+            return entry.gids
+        return entry
+
+    def comp_set_is_factored(self, gsid: int) -> bool:
+        return isinstance(self._comp_sets[gsid], _FactoredCompSet)
+
+    def comp_set_parts(
+        self, gsid: int
+    ) -> Tuple[np.ndarray, np.ndarray, Tuple]:
+        """(endpoint comps, member projection gids, interior-sharing key).
+
+        For a factored set the members are the *interior* projections
+        (shared across every host pair of the rack pair) and the key is
+        ``("f", switch_gsid)``; for a plain set the members are the full
+        projections, the endpoint array is empty, and the key is
+        ``("p", gsid)``.  Two sets with equal keys share identical
+        member arrays - the compressed problem build interns its
+        interior path table once per distinct key.
+        """
+        entry = self._comp_sets[gsid]
+        if isinstance(entry, _FactoredCompSet):
+            return (
+                entry.ecomps,
+                self.comp_set(entry.switch_gsid),
+                ("f", entry.switch_gsid),
+            )
+        return _EMPTY_I64, entry, ("p", gsid)
 
     def _project_path(self, pid: int, include_devices: bool) -> int:
         comps = self.topology.path_components(self._paths[pid], include_devices)
@@ -357,12 +578,30 @@ class PathSpace:
         return cache.lookup(pids, fill, self._lock)
 
     def set_gsids(self, sids: np.ndarray, include_devices: bool) -> np.ndarray:
-        """Component path-set id of each node path set."""
+        """Component path-set id of each node path set.
+
+        Factored pair sets project to *factored* component sets: the
+        endpoint host links plus the rack pair's interior projection
+        set, so the projection cost of a pair is O(1) once its rack
+        pair has been seen.
+        """
         cache = self._sid_gsid[int(include_devices)]
 
         def fill(sid: int) -> int:
-            pids = self._sets[sid]
-            gids = self.path_gids(pids, include_devices)
+            entry = self._sets[sid]
+            if isinstance(entry, _FactoredSet):
+                switch_gsid = int(
+                    self.set_gsids(
+                        np.asarray([entry.switch_sid], dtype=np.int64),
+                        include_devices,
+                    )[0]
+                )
+                if entry.src_link <= entry.dst_link:
+                    ecomps = (entry.src_link, entry.dst_link)
+                else:
+                    ecomps = (entry.dst_link, entry.src_link)
+                return self.intern_factored_comp_set(ecomps, switch_gsid)
+            gids = self.path_gids(entry, include_devices)
             return self.intern_comp_set(gids.tolist())
 
         return cache.lookup(sids, fill, self._lock)

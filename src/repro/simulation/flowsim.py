@@ -66,14 +66,31 @@ class FlowLevelSimulator:
 
         if n:
             sids, order, offsets = _first_seen_groups(specs.path_set)
-            probs_by_pid = _all_path_drop_probs(space, plan)
+            surv_by_pid = _path_survivals(space, plan)
+            rates = plan.rates
             for g, sid in enumerate(sids.tolist()):
                 idx = order[offsets[g]:offsets[g + 1]]
-                set_pids = space.set_path_ids(sid)
-                drop_probs = probs_by_pid[set_pids]
-                choice = rng.integers(0, len(set_pids), size=len(idx))
-                bad[idx] = rng.binomial(packets[idx], drop_probs[choice])
-                chosen[idx] = set_pids[choice]
+                if space.set_is_factored(sid):
+                    # Factored pair set: drop probability composes from
+                    # the endpoint-link survivals and the shared
+                    # switch-segment survivals; only the *chosen* member
+                    # paths are ever materialized.
+                    fset = space.set_factored(sid)
+                    middles = space.set_path_ids(fset.switch_sid)
+                    drop_probs = 1.0 - (
+                        (1.0 - rates[fset.src_link])
+                        * surv_by_pid[middles]
+                        * (1.0 - rates[fset.dst_link])
+                    )
+                    choice = rng.integers(0, len(middles), size=len(idx))
+                    bad[idx] = rng.binomial(packets[idx], drop_probs[choice])
+                    chosen[idx] = space.member_pids(sid, choice)
+                else:
+                    set_pids = space.set_path_ids(sid)
+                    drop_probs = 1.0 - surv_by_pid[set_pids]
+                    choice = rng.integers(0, len(set_pids), size=len(idx))
+                    bad[idx] = rng.binomial(packets[idx], drop_probs[choice])
+                    chosen[idx] = set_pids[choice]
 
         if injection.latency_model is not None:
             crosses = space.paths_cross_links(chosen, injection.flapped_links)
@@ -117,28 +134,35 @@ class FlowLevelSimulator:
         return batch.records()
 
 
-def _all_path_drop_probs(space: PathSpace, plan) -> np.ndarray:
-    """Drop probability of every interned path, one vectorized pass.
+def _path_survivals(space: PathSpace, plan) -> np.ndarray:
+    """Survival probability of every interned path, one vectorized pass.
 
     ``np.multiply.reduceat`` folds each CSR segment left to right, so
-    the result is bit-identical to the scalar
+    ``1 - survival`` is bit-identical to the scalar
     :meth:`~repro.simulation.droprate.DropRatePlan.path_drop_probability`
-    loop over the same hop order.
+    loop over the same hop order.  Hop-less paths survive with
+    probability exactly 1.
     """
     flat_links, link_off = space.link_csr()
     n_paths = len(link_off) - 1
-    probs = np.zeros(n_paths)
+    surv = np.ones(n_paths)
     if n_paths == 0 or len(flat_links) == 0:
-        return probs
+        return surv
     seg = 1.0 - plan.rates[flat_links]
     # Fold only non-empty segments: their starts are strictly
     # increasing and in bounds, and skipped (hop-less) paths occupy
     # zero width between them, so each fold covers exactly one path's
-    # hops.  Hop-less paths keep drop probability 0.
+    # hops.
     nonempty = np.diff(link_off) > 0
     if np.any(nonempty):
-        survive = np.multiply.reduceat(seg, link_off[:-1][nonempty])
-        probs[nonempty] = 1.0 - survive
+        surv[nonempty] = np.multiply.reduceat(seg, link_off[:-1][nonempty])
+    return surv
+
+
+def _all_path_drop_probs(space: PathSpace, plan) -> np.ndarray:
+    """Drop probability of every interned path (1 - survival)."""
+    surv = _path_survivals(space, plan)
+    probs = 1.0 - surv
     return probs
 
 

@@ -16,8 +16,9 @@ from repro.core.gibbs import GibbsInference
 from repro.core.params import DEFAULT_PER_PACKET
 from repro.core.problem import InferenceProblem
 from repro.eval.experiments import standard_topology
-from repro.eval.harness import build_problem
+from repro.eval.harness import build_problem, effective_telemetry
 from repro.eval.scenarios import Trace, make_trace
+from repro.telemetry.inputs import build_observation_batch
 from repro.eval.schemes import make_setup, scheme_names
 from repro.routing import EcmpRouting, PathSpace
 from repro.simulation import DropRatePlan, FlowLevelSimulator, SilentLinkDrops
@@ -78,6 +79,10 @@ def test_problem_identical_across_registered_scenarios(tiny_world, scenario_name
 @pytest.mark.parametrize("scenario_name", scenario_names())
 @pytest.mark.parametrize("scheme", scheme_names())
 def test_scheme_predictions_identical(tiny_world, scenario_name, scheme):
+    """Every scheme's prediction is bit-identical across all three
+    problem representations: compressed (from_batch), uncompressed
+    (from_batch(compressed=False)), and the object pipeline
+    (from_observations)."""
     topo, routing = tiny_world
     trace = make_trace(
         topo, routing, make_scenario(scenario_name), seed=7,
@@ -85,12 +90,99 @@ def test_scheme_predictions_identical(tiny_world, scenario_name, scheme):
     )
     setup = make_setup(scheme)
     col = build_problem(trace, setup.telemetry)
+    assert col.compressed
+    obs_batch = build_observation_batch(
+        trace.batch, effective_telemetry(trace, setup.telemetry),
+        np.random.default_rng(trace.seed + 0x5EED),
+    )
+    unc = InferenceProblem.from_batch(
+        obs_batch, topo.n_components, topo.n_links, compressed=False
+    )
+    assert not unc.compressed
     obj = build_problem(_strip_batch(trace), setup.telemetry)
     pred_col = setup.localizer.localize(col)
+    pred_unc = setup.localizer.localize(unc)
     pred_obj = setup.localizer.localize(obj)
-    assert pred_col.components == pred_obj.components
-    assert pred_col.scores == pred_obj.scores
-    assert pred_col.log_likelihood == pred_obj.log_likelihood
+    for other in (pred_unc, pred_obj):
+        assert pred_col.components == other.components
+        assert pred_col.scores == other.scores
+        assert pred_col.log_likelihood == other.log_likelihood
+
+
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_compressed_problem_views_match_uncompressed(tiny_world, scenario_name):
+    """The compressed build's lazy object views expand to exactly the
+    uncompressed representation (full projections, first-seen ids)."""
+    topo, routing = tiny_world
+    trace = make_trace(
+        topo, routing, make_scenario(scenario_name), seed=13,
+        n_passive=900, n_probes=150,
+    )
+    telemetry = TelemetryConfig.from_spec("A1+A2+P")
+    rng = np.random.default_rng(trace.seed + 0x5EED)
+    batch = build_observation_batch(trace.batch, telemetry, rng)
+    col = InferenceProblem.from_batch(batch, topo.n_components, topo.n_links)
+    rng = np.random.default_rng(trace.seed + 0x5EED)
+    batch = build_observation_batch(trace.batch, telemetry, rng)
+    unc = InferenceProblem.from_batch(
+        batch, topo.n_components, topo.n_links, compressed=False
+    )
+    assert col.compressed and not unc.compressed
+    assert col.n_paths == unc.n_paths
+    _assert_problems_identical(col, unc)
+
+
+def test_gibbs_batched_matches_sequential(tiny_world):
+    """Batched sweeps visit the identical chain as the sequential loop."""
+    topo, routing = tiny_world
+    trace = make_trace(
+        topo, routing, SilentLinkDrops(n_failures=2, min_rate=4e-3),
+        seed=17, n_passive=1_000, n_probes=150,
+    )
+    problem = build_problem(trace, TelemetryConfig.from_spec("A1+A2+P"))
+    for seed in (0, 1, 2):
+        batched = GibbsInference(
+            DEFAULT_PER_PACKET, sweeps=12, burn_in=4, seed=seed,
+        ).localize(problem)
+        sequential = GibbsInference(
+            DEFAULT_PER_PACKET, sweeps=12, burn_in=4, seed=seed,
+            batch_sweeps=False,
+        ).localize(problem)
+        assert batched.components == sequential.components
+        assert batched.scores == sequential.scores
+        assert batched.log_likelihood == sequential.log_likelihood
+
+
+def test_factored_pair_sets_materialize_to_host_paths(tiny_world):
+    """A factored pair set expands to exactly routing.host_paths, and
+    its factored component sets expand to the full projections."""
+    topo, routing = tiny_world
+    space = PathSpace(topo, routing)
+    hosts = topo.hosts
+    pairs = [(hosts[0], hosts[-1]), (hosts[0], hosts[1])]
+    for src, dst in pairs:
+        sid = space.pair_set(src, dst)
+        assert space.set_is_factored(sid)
+        expected = routing.host_paths(src, dst)
+        assert space.set_size(sid) == len(expected)
+        # member_pids before full materialization
+        choice = np.arange(len(expected), dtype=np.int64)
+        pids = space.member_pids(sid, choice)
+        assert [space.path_nodes(int(p)) for p in pids] == list(expected)
+        # full materialization agrees
+        assert [
+            space.path_nodes(int(p)) for p in space.set_path_ids(sid)
+        ] == list(expected)
+        for include_devices in (False, True):
+            gsid = int(space.set_gsids(
+                np.asarray([sid], dtype=np.int64), include_devices
+            )[0])
+            assert space.comp_set_is_factored(gsid)
+            gids = space.comp_set(gsid)
+            expected_projs = [
+                topo.path_components(p, include_devices) for p in expected
+            ]
+            assert [space.comp_path(int(g)) for g in gids] == expected_projs
 
 
 def test_sampled_telemetry_identical(tiny_world):

@@ -12,6 +12,9 @@ from repro.eval.runner import (
     EXECUTORS,
     RunnerConfig,
     RunnerStats,
+    _run_trace_unit,
+    attach_trace,
+    detach_traces,
     run_grid,
 )
 from repro.eval.scenarios import make_trace_batch
@@ -53,6 +56,44 @@ def suite():
                     FlockInference(FlockParams(pg=3e-4, pb=4e-3, rho=5e-4)),
                     TelemetryConfig.from_spec("INT")),
     ]
+
+
+class TestWorldShipping:
+    """The process executor ships the shared PathSpace once per worker
+    (pool initializer), not once per task."""
+
+    def test_detached_payload_excludes_path_space(self, traces):
+        import pickle
+
+        worlds, payloads = detach_traces(traces)
+        assert len(worlds) == 1  # one (topology, routing) pair
+        for clone, original in zip(payloads, traces):
+            assert clone is not original
+            assert clone.topology is None
+            assert clone.routing is None
+            assert clone.batch.space is None
+            payload = pickle.dumps(clone)
+            # The per-task payload must not carry the interning space.
+            assert b"PathSpace" not in payload
+        # ... while the once-per-worker world does.
+        assert b"PathSpace" in pickle.dumps(worlds)
+        # Detaching leaves the originals untouched.
+        for original in traces:
+            assert original.batch.space is not None
+            assert original.routing is not None
+
+    def test_attach_restores_results(self, traces):
+        worlds, payloads = detach_traces(traces)
+        setups = suite()
+        expected, _, _ = _run_trace_unit(setups, traces[0], use_cache=True)
+        clone = attach_trace(payloads[0], worlds)
+        got, _, _ = _run_trace_unit(setups, clone, use_cache=True)
+        for a, b in zip(expected, got):
+            assert a.prediction.components == b.prediction.components
+            assert a.metrics == b.metrics
+
+    def test_attach_is_noop_for_regular_traces(self, traces):
+        assert attach_trace(traces[0]) is traces[0]
 
 
 class TestExecutorEquivalence:
