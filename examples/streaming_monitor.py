@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Monitor a flapping link through the streaming localization service.
+
+A link flap is the canonical streaming incident: the fault turns on
+mid-stream, drops packets for a while, and clears.  A batch harness
+averages the flap away; the :class:`~repro.eval.stream.StreamMonitor`
+replays the trace as one-second chunks through a sliding
+:class:`~repro.core.window.WindowedProblem` and re-localizes every
+cycle with a warm-started kernel, so the incident shows up (and clears)
+within a few cycles of wall clock.
+
+Run:  PYTHONPATH=src python examples/streaming_monitor.py
+"""
+
+from repro.eval.experiments import standard_topology
+from repro.eval.stream import StreamMonitor, incident_latencies
+from repro.routing import EcmpRouting
+from repro.simulation import LinkFlap, replay_stream
+
+CYCLES = 16
+ONSET, CLEAR = 4, 11
+
+
+def main():
+    topo = standard_topology("ci")
+    routing = EcmpRouting(topo)
+    scenario = LinkFlap(n_links=1)
+
+    # The incident is live for chunks [ONSET, CLEAR); outside that the
+    # same links run under their healthy twin, so the window straddles
+    # onset and clearance with homogeneous telemetry.
+    chunks = replay_stream(
+        topo, routing, scenario, seed=23, n_chunks=CYCLES,
+        flows_per_chunk=600, probes_per_chunk=120,
+        onset_chunk=ONSET, clear_chunk=CLEAR,
+    )
+
+    monitor = StreamMonitor(topo, scheme="flock", window=4, seed=23)
+    print(f"streaming a link flap on the ci fabric ({topo.n_links} links): "
+          f"{CYCLES} cycles, incident live for chunks [{ONSET}, {CLEAR})")
+
+    reports = monitor.run(chunks)
+    for r in reports:
+        names = sorted(topo.component_name(c) for c in r.prediction.components)
+        mark = "*" if r.detected else (" " if not r.truth else "!")
+        ms = (r.build_seconds + r.localize_seconds) * 1e3
+        print(f"  cycle {r.cycle:>2} [{mark}] window={r.grouped_flows:>5} "
+              f"churn={r.churn} {ms:6.1f}ms  "
+              f"predicted: {', '.join(names) if names else '-'}")
+
+    print()
+    for inc in incident_latencies(reports):
+        if inc["detected_cycle"] is None:
+            print(f"incident @ cycle {inc['onset_cycle']}: NOT detected")
+            continue
+        print(f"incident @ cycle {inc['onset_cycle']}: detected at cycle "
+              f"{inc['detected_cycle']} (latency {inc['latency_cycles']} "
+              f"cycle(s), {inc['latency_seconds']:.1f}s of stream time), "
+              f"cleared at cycle {inc['clear_cycle']}")
+
+    # The hypothesis should also *clear* once the flap stops and the
+    # faulty chunks expire from the window.
+    tail = [r for r in reports if r.cycle >= CLEAR + monitor.window]
+    if tail and not any(r.prediction.components for r in tail):
+        print("hypothesis cleared after the flap expired from the window")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@ Examples::
     repro-flock run fig2 --scheme flock --set n_traces=4
     repro-flock run fig4c --preset paper --seed 3
     repro-flock run all --preset ci --jobs 8 --executor process
+    repro-flock stream gray-drift --preset ci --window 4 --cycle 12
 
 Experiments, schemes, and failure scenarios all resolve through
 registries (:mod:`repro.eval.spec`, :mod:`repro.eval.schemes`,
@@ -142,6 +143,48 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--seed", type=int, default=2023)
     dataset.add_argument("--flows", type=int, default=4000)
     dataset.add_argument("--probes", type=int, default=600)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a scenario as a chunk stream and monitor it live",
+    )
+    stream.add_argument(
+        "scenario", help="a registered failure scenario (see 'list')"
+    )
+    stream.add_argument("--preset", choices=experiments.PRESETS, default="ci")
+    stream.add_argument("--seed", type=int, default=61)
+    stream.add_argument(
+        "--window", type=int, default=4, metavar="N",
+        help="sliding window size in chunks (default: 4)",
+    )
+    stream.add_argument(
+        "--cycle", "--cycles", type=int, default=12, dest="cycles",
+        metavar="M", help="number of monitor cycles to run (default: 12)",
+    )
+    stream.add_argument(
+        "--flows", type=int, default=500, metavar="F",
+        help="passive flows per chunk (default: 500)",
+    )
+    stream.add_argument(
+        "--probes", type=int, default=100, metavar="P",
+        help="probes per chunk (default: 100)",
+    )
+    stream.add_argument(
+        "--scheme", default="flock", metavar="NAME",
+        help="registry scheme to localize with (default: flock)",
+    )
+    stream.add_argument(
+        "--onset", type=int, default=None, metavar="C",
+        help="chunk index the incident turns on at (default: cycles // 3)",
+    )
+    stream.add_argument(
+        "--clear", type=int, default=None, metavar="C",
+        help="chunk index the incident clears at (default: never)",
+    )
+    stream.add_argument(
+        "--no-warm", action="store_true",
+        help="cold-localize every cycle instead of warm-starting",
+    )
     return parser
 
 
@@ -313,6 +356,71 @@ def _list(args) -> int:
     return 0
 
 
+def _stream(args) -> int:
+    """Replay a chunked incident and print per-cycle detections."""
+    from .eval.stream import StreamMonitor, incident_latencies
+    from .routing.ecmp import EcmpRouting
+    from .simulation.failures import make_scenario
+    from .simulation.stream import replay_stream
+
+    scenario = make_scenario(args.scenario)
+    topology = experiments.standard_topology(args.preset)
+    routing = EcmpRouting(topology)
+    onset = args.onset if args.onset is not None else args.cycles // 3
+    chunks = replay_stream(
+        topology,
+        routing,
+        scenario,
+        seed=args.seed,
+        n_chunks=args.cycles,
+        flows_per_chunk=args.flows,
+        probes_per_chunk=args.probes,
+        onset_chunk=onset,
+        clear_chunk=args.clear,
+    )
+    monitor = StreamMonitor(
+        topology,
+        scheme=args.scheme,
+        window=args.window,
+        warm=not args.no_warm,
+        seed=args.seed,
+    )
+    mode = "warm" if monitor.warm else "cold"
+    print(
+        f"streaming {args.scenario} on {args.preset} fabric "
+        f"({topology.n_links} links): {args.cycles} cycles, "
+        f"window {args.window}, scheme {monitor.setup.name} ({mode})"
+    )
+    reports = []
+    for chunk in chunks:
+        report = monitor.step(chunk)
+        reports.append(report)
+        names = sorted(
+            topology.component_name(c) for c in report.prediction.components
+        )
+        mark = "*" if report.detected else (" " if not report.truth else "!")
+        ms = (report.build_seconds + report.localize_seconds) * 1e3
+        print(
+            f"  cycle {report.cycle:>3} [{mark}] flows={report.raw_flows:>6} "
+            f"window={report.grouped_flows:>7} churn={report.churn} "
+            f"{ms:7.1f}ms  predicted: {', '.join(names) if names else '-'}"
+        )
+    for inc in incident_latencies(reports):
+        if inc["detected_cycle"] is None:
+            print(
+                f"incident @ cycle {inc['onset_cycle']}: NOT detected "
+                f"(cleared at {inc['clear_cycle']})"
+            )
+        else:
+            print(
+                f"incident @ cycle {inc['onset_cycle']}: detected at cycle "
+                f"{inc['detected_cycle']} "
+                f"(latency {inc['latency_cycles']} cycle(s), "
+                f"{inc['latency_seconds']:.1f}s)"
+            )
+    return 0
+
+
 def main(argv=None) -> int:
     try:
         return _main(argv)
@@ -337,6 +445,8 @@ def _main(argv=None) -> int:
         return _list(args)
     if args.command == "merge":
         return _merge(args)
+    if args.command == "stream":
+        return _stream(args)
     if args.experiment == "all":
         # Per-experiment flags don't compose with 'all': overrides are
         # validated against one builder's knobs, and probe-only

@@ -82,8 +82,33 @@ class FlockInference:
 
         return VectorJleState(problem, self._params)
 
-    def localize(self, problem: InferenceProblem) -> Prediction:
-        """Run greedy+JLE MLE search and return the inferred failed set."""
+    def localize(
+        self,
+        problem: InferenceProblem,
+        warm_state: Optional[object] = None,
+    ) -> Prediction:
+        """Run greedy+JLE MLE search and return the inferred failed set.
+
+        ``warm_state`` optionally supplies an already-rebased
+        :class:`~repro.core.flock_fast.VectorJleState` carrying the
+        previous window's hypothesis (see :meth:`VectorJleState
+        .rebase`); the search then runs as a local search (additions
+        *and* removals) from that hypothesis instead of growing from
+        empty - the steady-state fast path of the streaming monitor.
+        """
+        if warm_state is not None:
+            from .flock_fast import greedy_local_search
+
+            if warm_state.problem is not problem:
+                raise InferenceError(
+                    "warm_state must be built on the problem being localized"
+                )
+            return greedy_local_search(
+                warm_state,
+                np.asarray(problem.observed_components, dtype=np.int64),
+                max_failures=self._max_failures,
+                min_gain=self._min_gain,
+            )
         state = self._make_state(problem)
         candidates = np.asarray(problem.observed_components, dtype=np.int64)
         if len(candidates) == 0:

@@ -42,7 +42,7 @@ Engines built on the substrate:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, NamedTuple, Optional, Set, Tuple
 
 import numpy as np
 
@@ -307,6 +307,22 @@ class VectorArrays:
         return total
 
 
+class DeltaContrib(NamedTuple):
+    """A flow group's priced Δ/ll contribution, replayable at expiry.
+
+    A chunk's contribution depends only on its rows' intrinsic set
+    structure (global component ids) and the hypothesis it was priced
+    under, so when the same chunk expires with the hypothesis unchanged
+    - the streaming steady state - the cached vector can be subtracted
+    instead of re-priced.  ``hypothesis`` records the pricing context
+    for the validity check.
+    """
+
+    delta: np.ndarray
+    ll: float
+    hypothesis: frozenset
+
+
 class VectorJleState(VectorArrays):
     """Array-based JLE state; drop-in for :class:`repro.core.jle.JleState`.
 
@@ -323,6 +339,7 @@ class VectorJleState(VectorArrays):
         self.hypothesis: Set[int] = set()
         self.ll = 0.0
         self.flips = 0
+        self.added_contrib: Optional[DeltaContrib] = None
         self.delta = self._initial_delta()
 
     @property
@@ -348,6 +365,151 @@ class VectorJleState(VectorArrays):
             dtype=np.int64,
             count=len(table),
         )
+
+    @classmethod
+    def rebase(
+        cls,
+        problem: InferenceProblem,
+        prev: "VectorJleState",
+        removed_flows: np.ndarray,
+        removed_weights: np.ndarray,
+        added_flows: np.ndarray,
+        added_weights: np.ndarray,
+        removed_contrib: Optional[DeltaContrib] = None,
+    ) -> "VectorJleState":
+        """Warm-start a state on a new sliding-window problem.
+
+        Carries the previous window's hypothesis over and rebases Δ
+        incrementally instead of re-running :meth:`_initial_delta`
+        (the dominant cost of a cold state at scale):
+
+        * structural state (failed-path / failed-member counts) is
+          rebuilt under the carried hypothesis on the new problem's
+          numbering - O(paths of H) scatter adds;
+        * Δ is linear in group weight and each group's unit
+          contribution depends only on its set structure in *global*
+          component ids plus the hypothesis, so
+          ``Δ_new = Δ_prev - contrib(expired groups on prev state)
+          + contrib(appended groups on new state)`` is exact up to
+          float summation order.
+
+        ``removed_flows`` index ``prev.problem``'s grouped flows with
+        the weight each lost; ``added_flows`` index ``problem``'s with
+        the weight each gained (a :class:`repro.core.window
+        .WindowUpdate` supplies exactly these).  The result converges
+        to the same hypotheses as a cold state; only float rounding of
+        Δ differs.
+
+        ``removed_contrib`` may pass the :class:`DeltaContrib` the
+        expiring chunk's rows were priced at when *they* were appended
+        (exposed as :attr:`added_contrib` on the rebased state).  When
+        its recorded hypothesis still matches ``prev``'s, the cached
+        vector is bit-identical to re-pricing and is subtracted
+        directly; a stale hint (the search moved the hypothesis in
+        between) is ignored and the rows are re-priced.
+        """
+        self = cls.__new__(cls)
+        VectorArrays.__init__(self, problem, prev.params)
+        self.hypothesis = set(prev.hypothesis)
+        self.flips = prev.flips
+        self._path_nfailed = np.zeros(self.n_kernel_paths, dtype=np.int64)
+        self._set_e_nfailed = np.zeros(self.n_sets, dtype=np.int64)
+        for comp in sorted(self.hypothesis):
+            self._path_nfailed[self.comp_paths(comp)] += 1
+            esets = self.comp_esets(comp)
+            if len(esets):
+                self._set_e_nfailed[esets] += 1
+        if self.n_sets:
+            n_isets = len(self.iset_uoff) - 1
+            inst_iset = np.repeat(
+                np.arange(n_isets, dtype=np.int64), self.iset_ulen
+            )
+            iset_b = np.bincount(
+                inst_iset,
+                weights=self.iset_umult * (self._path_nfailed[self.iset_upids] > 0),
+                minlength=n_isets,
+            )
+            b = iset_b[self.iset_of_set]
+            # A failed endpoint component fails every member path.
+            full = self._set_e_nfailed > 0
+            b[full] = self.set_w[full]
+            self._set_b = b.astype(np.int64)
+        else:
+            self._set_b = np.zeros(0, dtype=np.int64)
+
+        # The normalized ll is a weighted per-flow sum (plus a prior
+        # term that doesn't change under rebase), so it moves by the
+        # expired/appended groups' own contributions - priced by the
+        # same pass that prices their Δ contributions.
+        delta = prev.delta.copy()
+        ll = prev.ll
+        removed = np.asarray(removed_flows, dtype=np.int64)
+        if len(removed):
+            if (
+                removed_contrib is not None
+                and removed_contrib.hypothesis == prev.hypothesis
+            ):
+                delta -= removed_contrib.delta
+                ll -= removed_contrib.ll
+            else:
+                contrib, base_ll = prev._delta_contrib(
+                    removed, np.asarray(removed_weights, dtype=np.float64)
+                )
+                delta -= contrib
+                ll -= base_ll
+        added = np.asarray(added_flows, dtype=np.int64)
+        self.added_contrib: Optional[DeltaContrib] = None
+        if len(added):
+            contrib, base_ll = self._delta_contrib(
+                added, np.asarray(added_weights, dtype=np.float64)
+            )
+            delta += contrib
+            ll += base_ll
+            self.added_contrib = DeltaContrib(
+                contrib, base_ll, frozenset(self.hypothesis)
+            )
+        self.delta = delta
+        self.ll = ll
+        return self
+
+    def _delta_contrib(
+        self, flows: np.ndarray, dw: np.ndarray
+    ) -> Tuple[np.ndarray, float]:
+        """(Δ contribution, ll contribution) of a weighted flow subset.
+
+        Under the current structural state, flow ``f`` adds
+        ``dw_f * (nll(b_f + g_fc) - nll(b_f))`` to Δ[c], where ``g_fc``
+        counts ``f``'s still-good member paths containing ``c`` - the
+        exact per-flow term the flip bookkeeping maintains, evaluated
+        directly.  Contributions are linear in the group weight, which
+        is what makes the sliding-window rebase exact: Δ and the
+        normalized ll move by the weight deltas of expired/appended
+        groups only.  The second return is ``sum(dw_f * nll(b_f))`` -
+        the subset's share of the hypothesis ll under the carried
+        hypothesis.
+        """
+        out = np.zeros(self.n_comps, dtype=np.float64)
+        flows = np.asarray(flows, dtype=np.int64)
+        if len(flows) == 0 or self.n_sets == 0:
+            return out, 0.0
+        aff_sets, fsl = np.unique(self.set_of_flow[flows], return_inverse=True)
+        local, upids, mult = self.set_instances(aff_sets)
+        nf = self._path_nfailed[upids] + self._set_e_nfailed[aff_sets][local]
+        failed = nf > 0
+        b_set = self._set_b[aff_sets]
+        good_count = self.set_w[aff_sets] - b_set
+        b = b_set[fsl].astype(np.float64)
+        base = self.nll(b, flows)
+        base_ll = float(np.dot(dw, base))
+        if not np.any(good_count > 0):
+            return out, base_ll
+        keys, cnts = self._set_pair_lists(
+            aff_sets, local, upids, mult, ~failed, good_count
+        )
+        fl, comps_u, cnt = self._pairs_to_flows(len(aff_sets), fsl, keys, cnts)
+        contrib = dw[fl] * (self.nll(b[fl] + cnt, flows[fl]) - base[fl])
+        out += np.bincount(comps_u, weights=contrib, minlength=self.n_comps)
+        return out, base_ll
 
     def _initial_delta(self) -> np.ndarray:
         if self.problem.n_flows == 0 or self.n_sets == 0:
@@ -518,6 +680,60 @@ class VectorJleState(VectorArrays):
         return change
 
 
+def greedy_local_search(
+    state: VectorJleState,
+    candidates: np.ndarray,
+    max_failures: Optional[int] = None,
+    min_gain: float = 0.0,
+) -> Prediction:
+    """Greedy local search from a (possibly warm) JLE state.
+
+    Extends the paper's add-only greedy loop with removals so a
+    warm-started hypothesis can shed components the new window no
+    longer supports: each step flips whichever single addition or
+    removal improves the LL most, and stops when no flip beats
+    ``min_gain``.  From an empty state this reduces exactly to the
+    add-only loop (a just-added component's removal gain is its
+    addition gain negated, so removals never fire without new
+    evidence).  An iteration guard bounds pathological flip cycles.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    scores: Dict[int, float] = {}
+    cap = max_failures
+    if cap is None:
+        cap = len(candidates) + len(state.hypothesis)
+    guard = 2 * (len(candidates) + len(state.hypothesis)) + 16
+    for _ in range(guard):
+        best_comp = -1
+        best_gain = min_gain
+        removing = False
+        if len(candidates) and len(state.hypothesis) < cap:
+            gains = state.addition_gains(candidates)
+            idx = int(np.argmax(gains))
+            if float(gains[idx]) > best_gain:
+                best_gain = float(gains[idx])
+                best_comp = int(candidates[idx])
+        for comp in sorted(state.hypothesis):
+            gain = state.removal_gain(comp)
+            if gain > best_gain:
+                best_gain = gain
+                best_comp = comp
+                removing = True
+        if best_comp < 0:
+            break
+        state.flip(best_comp)
+        if removing:
+            scores.pop(best_comp, None)
+        else:
+            scores[best_comp] = best_gain
+    return Prediction(
+        components=frozenset(state.hypothesis),
+        scores=scores,
+        log_likelihood=float(state.ll),
+        hypotheses_scanned=state.hypotheses_scanned,
+    )
+
+
 class VectorGreedyWithoutJle(VectorArrays):
     """Greedy search pricing every candidate from scratch each iteration
     (the "greedy only" ablation arm, on the shared vector substrate).
@@ -534,6 +750,7 @@ class VectorGreedyWithoutJle(VectorArrays):
         problem: InferenceProblem,
         params: FlockParams,
         max_failures: Optional[int] = None,
+        initial_hypothesis: Optional[Iterable[int]] = None,
     ) -> None:
         super().__init__(problem, params)
         self._path_nfailed = np.zeros(self.n_kernel_paths, dtype=np.int64)
@@ -542,6 +759,11 @@ class VectorGreedyWithoutJle(VectorArrays):
         self.hypothesis: Set[int] = set()
         self.ll = 0.0
         self._cap = max_failures
+        if initial_hypothesis:
+            # Warm start: seed the previous window's hypothesis so the
+            # greedy loop only prices what changed.
+            for comp in sorted(set(initial_hypothesis)):
+                self.commit(comp, self.candidate_gain(comp))
 
     def _newly_bad_counts(
         self, comp: int, flows: np.ndarray

@@ -79,9 +79,34 @@ class GibbsInference:
         self._seed = seed
         self._batch_sweeps = batch_sweeps
 
-    def localize(self, problem: InferenceProblem) -> Prediction:
+    @property
+    def params(self) -> FlockParams:
+        return self._params
+
+    def localize(
+        self,
+        problem: InferenceProblem,
+        initial_state: VectorJleState = None,
+    ) -> Prediction:
+        """Sample the chain and threshold marginals into a prediction.
+
+        ``initial_state`` optionally warm-starts the chain from a
+        rebased :class:`VectorJleState` (previous window's hypothesis
+        and Δ).  The warm chain initializes at that hypothesis instead
+        of the empty one, so it is a *different* Markov chain than a
+        cold run - marginals agree at convergence (enough kept sweeps)
+        but not step for step.
+        """
         rng = np.random.default_rng(self._seed)
-        state = VectorJleState(problem, self._params)
+        if initial_state is None:
+            state = VectorJleState(problem, self._params)
+        else:
+            if initial_state.problem is not problem:
+                raise InferenceError(
+                    "initial_state must be built on the problem being "
+                    "localized"
+                )
+            state = initial_state
         candidates = np.asarray(problem.observed_components, dtype=np.int64)
         if not len(candidates):
             return Prediction.empty()
@@ -90,6 +115,8 @@ class GibbsInference:
         # counts accumulate as whole-array operations; only the flip
         # chain itself is sequential (it is the Markov chain).
         in_hyp = np.zeros(problem.n_components, dtype=bool)
+        for comp in state.hypothesis:
+            in_hyp[comp] = True
         inclusion = np.zeros(problem.n_components, dtype=np.int64)
         # Removal gains are pure functions of the chain state, so they
         # stay valid until the next flip.

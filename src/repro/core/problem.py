@@ -79,6 +79,46 @@ def _split_sorted(sorted_keys: np.ndarray, values: np.ndarray) -> Dict[int, List
     return out
 
 
+def _small_key_argsort(keys: np.ndarray, upper: int) -> np.ndarray:
+    """Stable argsort of non-negative keys with known bound ``upper``.
+
+    Keys below 2**16 cast to uint16, which routes numpy to its radix
+    sort - several times faster than the comparison sort on the
+    small-range keys (component ids, set ids) the problem indexes sort
+    by.  The cast is order-preserving, so both paths tie out.
+    """
+    if 0 < upper <= 1 << 16:
+        return np.argsort(keys.astype(np.uint16), kind="stable")
+    return np.argsort(keys, kind="stable")
+
+
+def _row_group_keys(*cols: np.ndarray) -> np.ndarray:
+    """One scalar grouping key per row of aligned int columns.
+
+    When the columns' combined bit-width fits an int64, rows pack into
+    plain integers (``np.unique`` then sorts natives instead of
+    element-compared structured records - an order of magnitude faster
+    at window scale).  Otherwise falls back to a structured void view.
+    Packing is injective and ordered column-major either way, so both
+    paths group identically.
+    """
+    arrs = [np.asarray(c, dtype=np.int64) for c in cols]
+    bits = []
+    for a in arrs:
+        if len(a) == 0 or a.min() < 0:
+            bits = None
+            break
+        bits.append(max(1, int(a.max()).bit_length()))
+    if bits is not None and sum(bits) <= 62:
+        key = arrs[0].copy()
+        for a, b in zip(arrs[1:], bits[1:]):
+            key <<= b
+            key |= a
+        return key
+    mat = np.ascontiguousarray(np.column_stack(arrs))
+    return mat.view([(f"f{i}", np.int64) for i in range(mat.shape[1])]).ravel()
+
+
 def _first_seen_unique_rows(*cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Group equal rows of aligned int columns, first-appearance order.
 
@@ -86,13 +126,96 @@ def _first_seen_unique_rows(*cols: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     (ascending, i.e. insertion order of the object pipeline's grouping
     dict) and the group sizes.
     """
-    mat = np.ascontiguousarray(
-        np.column_stack([np.asarray(c, dtype=np.int64) for c in cols])
+    _, first_idx, counts = np.unique(
+        _row_group_keys(*cols), return_index=True, return_counts=True
     )
-    view = mat.view([(f"f{i}", np.int64) for i in range(mat.shape[1])]).ravel()
-    _, first_idx, counts = np.unique(view, return_index=True, return_counts=True)
     order = np.argsort(first_idx, kind="stable")
     return first_idx[order], counts[order]
+
+
+class SetStageCache:
+    """Persistent :meth:`PathSpace.comp_set_parts` intern for streaming.
+
+    A sliding window re-sees almost exactly the path sets of the
+    previous cycle, so :meth:`InferenceProblem._from_grouped_compressed`
+    can skip its per-gsid python walk: this cache stores each seen
+    gsid's endpoint components, interior-set key, and (per distinct
+    key) member array in flat CSR form, and a rebuild gathers the whole
+    set stage with a handful of vectorized indexing passes.  The gather
+    reproduces the walk's output arrays exactly - same interior-set
+    first-seen numbering, same segment order - so cached and uncached
+    builds stay bit-identical.
+    """
+
+    def __init__(self) -> None:
+        self._row = np.full(1024, -1, dtype=np.int64)  # gsid -> row
+        self._key_index: Dict[Tuple, int] = {}
+        self._key_rows: List[int] = []
+        self._e_segments: List[np.ndarray] = []  # per row
+        self._m_segments: List[np.ndarray] = []  # per key id
+        self.key_of_row = np.empty(0, dtype=np.int64)
+        self.e_flat = np.empty(0, dtype=np.int64)
+        self.e_lens = np.empty(0, dtype=np.int64)
+        self.e_off = np.zeros(1, dtype=np.int64)
+        self.m_flat = np.empty(0, dtype=np.int64)
+        self.m_lens = np.empty(0, dtype=np.int64)
+        self.m_off = np.zeros(1, dtype=np.int64)
+
+    def rows(self, space, gsids: np.ndarray) -> np.ndarray:
+        """Cache row of every gsid, interning the ones not yet seen."""
+        top = int(gsids.max()) + 1 if len(gsids) else 0
+        if top > len(self._row):
+            grown = np.full(max(top, 2 * len(self._row)), -1, dtype=np.int64)
+            grown[: len(self._row)] = self._row
+            self._row = grown
+        rows = self._row[gsids]
+        missing = gsids[rows < 0]
+        if len(missing):
+            for g in missing.tolist():
+                ecomps, members, key = space.comp_set_parts(int(g))
+                kid = self._key_index.get(key)
+                if kid is None:
+                    kid = len(self._m_segments)
+                    self._key_index[key] = kid
+                    self._m_segments.append(
+                        np.asarray(members, dtype=np.int64)
+                    )
+                self._row[g] = len(self._key_rows)
+                self._key_rows.append(kid)
+                self._e_segments.append(np.asarray(ecomps, dtype=np.int64))
+            self._refresh()
+            rows = self._row[gsids]
+        return rows
+
+    def _refresh(self) -> None:
+        """Extend the flat gather arrays by the newly interned tail.
+
+        Steady-state cycles intern nothing and never land here; the
+        trickle of genuinely new sets extends in O(existing + new).
+        """
+        built = len(self.key_of_row)
+        new_e = self._e_segments[built:]
+        if new_e:
+            self.key_of_row = np.asarray(self._key_rows, dtype=np.int64)
+            lens = np.fromiter(
+                (len(e) for e in new_e), dtype=np.int64, count=len(new_e)
+            )
+            self.e_lens = np.concatenate([self.e_lens, lens])
+            self.e_off = np.concatenate(
+                [self.e_off, self.e_off[-1] + np.cumsum(lens)]
+            )
+            self.e_flat = np.concatenate([self.e_flat, *new_e])
+        built_m = len(self.m_lens)
+        new_m = self._m_segments[built_m:]
+        if new_m:
+            lens = np.fromiter(
+                (len(m) for m in new_m), dtype=np.int64, count=len(new_m)
+            )
+            self.m_lens = np.concatenate([self.m_lens, lens])
+            self.m_off = np.concatenate(
+                [self.m_off, self.m_off[-1] + np.cumsum(lens)]
+            )
+            self.m_flat = np.concatenate([self.m_flat, *new_m])
 
 
 class InferenceProblem:
@@ -155,7 +278,8 @@ class InferenceProblem:
         self.packets_sent = packets_sent
         self.weights = weights
         self.exact = exact
-        self.kinds = kinds
+        self._kinds: Optional[List[TelemetryKind]] = kinds
+        self._kind_codes: Optional[np.ndarray] = None
         self._path_table: Optional[PathTable] = path_table
         self._flow_paths: Optional[List[Tuple[int, ...]]] = flow_paths
         self._path_component_sets: Optional[List[FrozenSet[int]]] = None
@@ -200,7 +324,8 @@ class InferenceProblem:
         self.packets_sent = packets_sent
         self.weights = weights
         self.exact = exact
-        self.kinds = kinds
+        self._kinds = kinds
+        self._kind_codes = None
         self._path_table = None
         self._flow_paths = None
         self._path_component_sets = None
@@ -245,7 +370,7 @@ class InferenceProblem:
             sets_u, np.arange(n_sets + 1, dtype=np.int64)
         )
 
-        self._init_comp_flows(set_of_flow, n_flows)
+        self._defer_comp_flows()
 
         # Unified set layer: the uncompressed problem is the trivial
         # factoring - every set is its own interior set with no
@@ -264,16 +389,41 @@ class InferenceProblem:
         """component -> paths: stable sort keeps pids ascending per key."""
         pc_lens = np.diff(self.path_off)
         pid_of = np.repeat(np.arange(n_paths, dtype=np.int64), pc_lens)
-        order = np.argsort(self.path_comps, kind="stable")
+        order = _small_key_argsort(self.path_comps, self.n_components)
         self._comp_path_keys = self.path_comps[order]
         self._comp_path_vals = pid_of[order]
         self._comp_path_bounds = np.searchsorted(
             self._comp_path_keys, np.arange(self.n_components + 1, dtype=np.int64)
         )
 
-    def _init_comp_flows(self, set_of_flow: np.ndarray, n_flows: int) -> None:
+    def _defer_comp_flows(self) -> None:
+        """Mark the component -> flows index as not-yet-built.
+
+        The full index costs a sort over (flow, union-component) pairs -
+        the single most expensive pass of the build - yet steady-state
+        consumers (the JLE kernels) only ever ask for a handful of
+        components.  :meth:`comp_flows` therefore answers per-component
+        queries from cheap set-level indexes until something needs the
+        whole index (``flows_by_comp``, ``addition_upper_bounds``),
+        which triggers :meth:`_ensure_comp_flows`.  Both paths return
+        identical arrays: flows ascending per component.
+        """
+        self._cf_keys: Optional[np.ndarray] = None
+        self._cf_vals: Optional[np.ndarray] = None
+        self._cf_bounds: Optional[np.ndarray] = None
+        self._comp_set_vals: Optional[np.ndarray] = None
+        self._comp_set_bounds: Optional[np.ndarray] = None
+        self._set_flow_vals: Optional[np.ndarray] = None
+        self._set_flow_bounds: Optional[np.ndarray] = None
+        self._comp_flow_cache: Dict[int, np.ndarray] = {}
+
+    def _ensure_comp_flows(self) -> None:
         """component -> flows: expand per-set unions back to flows; a
         stable sort by component keeps flows ascending per key."""
+        if self._cf_bounds is not None:
+            return
+        set_of_flow = self._set_of_flow
+        n_flows = len(set_of_flow)
         union_lens = np.diff(self._set_union_bounds)
         flow_counts = union_lens[set_of_flow]
         inst_flow = np.repeat(np.arange(n_flows, dtype=np.int64), flow_counts)
@@ -281,11 +431,47 @@ class InferenceProblem:
             _expand_slices(self._set_union_bounds[set_of_flow], flow_counts)
         ]
         corder = np.argsort(flow_comp, kind="stable")
-        self._comp_flow_keys = flow_comp[corder]
-        self._comp_flow_vals = inst_flow[corder]
-        self._comp_flow_bounds = np.searchsorted(
-            self._comp_flow_keys, np.arange(self.n_components + 1, dtype=np.int64)
+        self._cf_keys = flow_comp[corder]
+        self._cf_vals = inst_flow[corder]
+        self._cf_bounds = np.searchsorted(
+            self._cf_keys, np.arange(self.n_components + 1, dtype=np.int64)
         )
+
+    def _ensure_set_indexes(self) -> None:
+        """Set-level inverted maps backing per-component queries:
+        component -> sets whose union carries it, and set -> flows."""
+        if self._comp_set_bounds is not None:
+            return
+        n_sets = len(self._set_union_bounds) - 1
+        set_ids = np.repeat(
+            np.arange(n_sets, dtype=np.int64), np.diff(self._set_union_bounds)
+        )
+        order = _small_key_argsort(self._set_union_comps, self.n_components)
+        self._comp_set_vals = set_ids[order]
+        self._comp_set_bounds = np.searchsorted(
+            self._set_union_comps[order],
+            np.arange(self.n_components + 1, dtype=np.int64),
+        )
+        forder = _small_key_argsort(self._set_of_flow, n_sets)
+        self._set_flow_vals = forder
+        self._set_flow_bounds = np.searchsorted(
+            self._set_of_flow[forder], np.arange(n_sets + 1, dtype=np.int64)
+        )
+
+    @property
+    def _comp_flow_keys(self) -> np.ndarray:
+        self._ensure_comp_flows()
+        return self._cf_keys
+
+    @property
+    def _comp_flow_vals(self) -> np.ndarray:
+        self._ensure_comp_flows()
+        return self._cf_vals
+
+    @property
+    def _comp_flow_bounds(self) -> np.ndarray:
+        self._ensure_comp_flows()
+        return self._cf_bounds
 
     def _init_unified(
         self,
@@ -432,22 +618,59 @@ class InferenceProblem:
         every set to full per-pair projections (the historical layout);
         predictions are bit-identical between the two.
         """
+        if len(batch) == 0:
+            return cls.from_observations([], n_components, n_links)
+        rep_rows, counts = _first_seen_unique_rows(
+            batch.path_set, batch.bad, batch.sent, batch.kind
+        )
+        return cls._from_grouped(
+            batch.space,
+            batch.path_set[rep_rows],
+            batch.bad[rep_rows].astype(np.int64),
+            batch.sent[rep_rows].astype(np.int64),
+            batch.kind[rep_rows],
+            counts.astype(np.int64),
+            n_components,
+            n_links,
+            compressed=compressed,
+        )
+
+    @classmethod
+    def _from_grouped(
+        cls,
+        space,
+        rep_gsids: np.ndarray,
+        bad: np.ndarray,
+        sent: np.ndarray,
+        kind_codes: np.ndarray,
+        weights: np.ndarray,
+        n_components: int,
+        n_links: int,
+        compressed: bool = True,
+        parts_cache: Optional["SetStageCache"] = None,
+    ) -> "InferenceProblem":
+        """Build from already-grouped rows in first-appearance order.
+
+        ``rep_gsids``/``bad``/``sent``/``kind_codes``/``weights`` are
+        aligned per grouped flow.  :meth:`from_batch` lands here after
+        its one grouping pass; the sliding-window pipeline
+        (:class:`repro.core.window.WindowedProblem`) lands here after
+        merging per-chunk grouped tables - the shared entry is what
+        makes windowed problems bit-identical to batch rebuilds.
+        ``parts_cache`` optionally carries a :class:`SetStageCache`
+        interning :meth:`PathSpace.comp_set_parts` across builds.
+        """
         if n_links > n_components:
             raise InferenceError("n_links cannot exceed n_components")
         from ..telemetry.inputs import KIND_ORDER
 
-        space = batch.space
-        if len(batch) == 0:
+        if len(rep_gsids) == 0:
             return cls.from_observations([], n_components, n_links)
 
-        rep_rows, counts = _first_seen_unique_rows(
-            batch.path_set, batch.bad, batch.sent, batch.kind
-        )
-        rep_gsids = batch.path_set[rep_rows]
-
         if compressed:
-            return cls._from_batch_compressed(
-                batch, n_components, n_links, rep_rows, counts, rep_gsids
+            return cls._from_grouped_compressed(
+                space, rep_gsids, bad, sent, kind_codes, weights,
+                n_components, n_links, parts_cache,
             )
 
         # Local path ids are assigned in first-appearance order, which
@@ -500,22 +723,25 @@ class InferenceProblem:
             set_of_flow=set_of_flow,
             set_pids=set_pids,
             set_off=set_off,
-            bad_packets=batch.bad[rep_rows].astype(np.int64),
-            packets_sent=batch.sent[rep_rows].astype(np.int64),
-            weights=counts.astype(np.int64),
+            bad_packets=bad,
+            packets_sent=sent,
+            weights=weights,
             exact=set_lens[set_of_flow] == 1,
-            kinds=[KIND_ORDER[code] for code in batch.kind[rep_rows].tolist()],
+            kinds=[KIND_ORDER[code] for code in kind_codes.tolist()],
         )
 
     @classmethod
-    def _from_batch_compressed(
+    def _from_grouped_compressed(
         cls,
-        batch: "ObservationBatch",
+        space,
+        rep_gsids: np.ndarray,
+        bad: np.ndarray,
+        sent: np.ndarray,
+        kind_codes: np.ndarray,
+        weights: np.ndarray,
         n_components: int,
         n_links: int,
-        rep_rows: np.ndarray,
-        counts: np.ndarray,
-        rep_gsids: np.ndarray,
+        parts_cache: Optional["SetStageCache"] = None,
     ) -> "InferenceProblem":
         """Compressed problem build: sets stay factored.
 
@@ -526,48 +752,69 @@ class InferenceProblem:
         is what keeps the build - and every kernel that runs on it -
         tractable.
         """
-        from ..telemetry.inputs import KIND_ORDER
-
-        space = batch.space
         ordered_gsids, set_of_flow = first_seen_ids(rep_gsids)
         n_sets = len(ordered_gsids)
 
-        iset_index: Dict[Tuple, int] = {}
-        iset_members: List[np.ndarray] = []
-        iset_of_set = np.empty(n_sets, dtype=np.int64)
-        e_segments: List[np.ndarray] = []
-        parts = space.comp_set_parts
-        for k, g in enumerate(ordered_gsids.tolist()):
-            ecomps, members, key = parts(int(g))
-            iid = iset_index.get(key)
-            if iid is None:
-                iid = len(iset_members)
-                iset_index[key] = iid
-                iset_members.append(members)
-            iset_of_set[k] = iid
-            e_segments.append(ecomps)
+        if parts_cache is not None:
+            # Streaming path: gather the set stage from the persistent
+            # intern instead of re-walking comp_set_parts per gsid.
+            # Interior sets are numbered by first key appearance either
+            # way (key ids alias keys one-to-one), so the gathered
+            # arrays equal the walked ones element for element.
+            rows = parts_cache.rows(space, ordered_gsids)
+            ordered_kids, iset_of_set = first_seen_ids(
+                parts_cache.key_of_row[rows]
+            )
+            e_lens = parts_cache.e_lens[rows]
+            set_eoff = np.zeros(n_sets + 1, dtype=np.int64)
+            np.cumsum(e_lens, out=set_eoff[1:])
+            set_ecomps = parts_cache.e_flat[
+                _expand_slices(parts_cache.e_off[rows], e_lens)
+            ]
+            m_lens = parts_cache.m_lens[ordered_kids]
+            iset_raw_off = np.zeros(len(ordered_kids) + 1, dtype=np.int64)
+            np.cumsum(m_lens, out=iset_raw_off[1:])
+            flat_gids = parts_cache.m_flat[
+                _expand_slices(parts_cache.m_off[ordered_kids], m_lens)
+            ]
+        else:
+            iset_index: Dict[Tuple, int] = {}
+            iset_members: List[np.ndarray] = []
+            iset_of_set = np.empty(n_sets, dtype=np.int64)
+            e_segments: List[np.ndarray] = []
+            parts = space.comp_set_parts
 
-        e_lens = np.fromiter(
-            (len(e) for e in e_segments), dtype=np.int64, count=n_sets
-        )
-        set_eoff = np.zeros(n_sets + 1, dtype=np.int64)
-        np.cumsum(e_lens, out=set_eoff[1:])
-        set_ecomps = (
-            np.concatenate(e_segments) if set_eoff[-1]
-            else np.empty(0, dtype=np.int64)
-        )
+            for k, g in enumerate(ordered_gsids.tolist()):
+                ecomps, members, key = parts(int(g))
+                iid = iset_index.get(key)
+                if iid is None:
+                    iid = len(iset_members)
+                    iset_index[key] = iid
+                    iset_members.append(members)
+                iset_of_set[k] = iid
+                e_segments.append(ecomps)
 
-        m_lens = np.fromiter(
-            (len(m) for m in iset_members),
-            dtype=np.int64,
-            count=len(iset_members),
-        )
-        iset_raw_off = np.zeros(len(iset_members) + 1, dtype=np.int64)
-        np.cumsum(m_lens, out=iset_raw_off[1:])
-        flat_gids = (
-            np.concatenate(iset_members) if iset_members
-            else np.empty(0, dtype=np.int64)
-        )
+            e_lens = np.fromiter(
+                (len(e) for e in e_segments), dtype=np.int64, count=n_sets
+            )
+            set_eoff = np.zeros(n_sets + 1, dtype=np.int64)
+            np.cumsum(e_lens, out=set_eoff[1:])
+            set_ecomps = (
+                np.concatenate(e_segments) if set_eoff[-1]
+                else np.empty(0, dtype=np.int64)
+            )
+
+            m_lens = np.fromiter(
+                (len(m) for m in iset_members),
+                dtype=np.int64,
+                count=len(iset_members),
+            )
+            iset_raw_off = np.zeros(len(iset_members) + 1, dtype=np.int64)
+            np.cumsum(m_lens, out=iset_raw_off[1:])
+            flat_gids = (
+                np.concatenate(iset_members) if iset_members
+                else np.empty(0, dtype=np.int64)
+            )
         local_gids, iset_raw_pids = first_seen_ids(flat_gids)
 
         cc_flat, cc_off = space.comp_csr()
@@ -589,10 +836,13 @@ class InferenceProblem:
         self = cls.__new__(cls)
         self.n_components = n_components
         self.n_links = n_links
-        self.bad_packets = batch.bad[rep_rows].astype(np.int64)
-        self.packets_sent = batch.sent[rep_rows].astype(np.int64)
-        self.weights = counts.astype(np.int64)
-        self.kinds = [KIND_ORDER[code] for code in batch.kind[rep_rows].tolist()]
+        self.bad_packets = bad
+        self.packets_sent = sent
+        self.weights = weights
+        # kinds materialize lazily from the codes: nothing on the
+        # steady-state streaming path reads them.
+        self._kinds = None
+        self._kind_codes = kind_codes
         self._path_table = None
         self._flow_paths = None
         self._path_component_sets = None
@@ -616,7 +866,6 @@ class InferenceProblem:
     ) -> None:
         """Indexes for the compressed layout, interior-set granular."""
         n_comps = np.int64(self.n_components)
-        n_flows = len(set_of_flow)
         n_sets = len(iset_of_set)
         n_isets = len(iset_raw_off) - 1
         n_paths = len(self.path_off) - 1
@@ -666,17 +915,38 @@ class InferenceProblem:
             skeys // n_comps, np.arange(n_sets + 1, dtype=np.int64)
         )
 
-        self._init_comp_flows(set_of_flow, n_flows)
+        self._defer_comp_flows()
         self._init_views()
 
     # ------------------------------------------------------------------
     # Array accessors (the vectorized kernels' interface)
     # ------------------------------------------------------------------
     def comp_flows(self, comp: int) -> np.ndarray:
-        """Flows that can blame ``comp`` (ascending, array view)."""
-        return self._comp_flow_vals[
-            self._comp_flow_bounds[comp]:self._comp_flow_bounds[comp + 1]
-        ]
+        """Flows that can blame ``comp`` (ascending, array view).
+
+        Answered from the full component -> flows index when it has
+        been built, else per-component from the set-level indexes (a
+        flow belongs to exactly one set, so the sorted gather is the
+        same ascending array the full index would slice out).
+        """
+        if self._cf_bounds is not None:
+            return self._cf_vals[
+                self._cf_bounds[comp]:self._cf_bounds[comp + 1]
+            ]
+        cached = self._comp_flow_cache.get(comp)
+        if cached is None:
+            self._ensure_set_indexes()
+            sets = self._comp_set_vals[
+                self._comp_set_bounds[comp]:self._comp_set_bounds[comp + 1]
+            ]
+            lens = np.diff(self._set_flow_bounds)[sets]
+            cached = np.sort(
+                self._set_flow_vals[
+                    _expand_slices(self._set_flow_bounds[sets], lens)
+                ]
+            )
+            self._comp_flow_cache[comp] = cached
+        return cached
 
     def comp_path_ids(self, comp: int) -> np.ndarray:
         """Problem paths containing ``comp`` (ascending, array view).
@@ -738,6 +1008,17 @@ class InferenceProblem:
         self._flow_paths = [
             set_tuples[s] for s in self._set_of_flow.tolist()
         ]
+
+    @property
+    def kinds(self) -> List[TelemetryKind]:
+        """Per-flow telemetry kinds (lazy when built from kind codes)."""
+        if self._kinds is None:
+            from ..telemetry.inputs import KIND_ORDER
+
+            self._kinds = [
+                KIND_ORDER[code] for code in self._kind_codes.tolist()
+            ]
+        return self._kinds
 
     @property
     def path_table(self) -> PathTable:
@@ -857,9 +1138,16 @@ class InferenceProblem:
 
     @property
     def observed_components(self) -> Tuple[int, ...]:
-        """Components that at least one flow can blame."""
-        counts = np.diff(self._comp_flow_bounds)
-        return tuple(np.nonzero(counts)[0].tolist())
+        """Components that at least one flow can blame.
+
+        Every set is referenced by at least one flow, so a component in
+        any set union is observed - the set unions answer this without
+        forcing the full component -> flows index.
+        """
+        if self._cf_bounds is not None:
+            counts = np.diff(self._cf_bounds)
+            return tuple(np.nonzero(counts)[0].tolist())
+        return tuple(np.unique(self._set_union_comps).tolist())
 
     def exact_flow_indices(self) -> np.ndarray:
         """Indices of flows whose path is known exactly.
@@ -874,7 +1162,7 @@ class InferenceProblem:
 
     def describe(self) -> str:
         """One-line summary, handy in logs and experiment reports."""
-        observed = int(np.count_nonzero(np.diff(self._comp_flow_bounds)))
+        observed = len(self.observed_components)
         paths = len(self.path_off) - 1
         kind = "interior paths" if self.compressed else "paths"
         return (

@@ -1,0 +1,207 @@
+"""Streaming localization monitor: ingest -> update -> localize cycles.
+
+The :class:`StreamMonitor` is the online counterpart of the batch
+harness (:mod:`repro.eval.harness`): it folds each simulated
+:class:`~repro.simulation.stream.StreamChunk` into a sliding
+:class:`~repro.core.window.WindowedProblem`, re-localizes, and emits a
+:class:`CycleReport` per cycle with the incident-facing quantities -
+was the live fault detected, how much did the hypothesis churn, how
+long did the cycle take.
+
+Warm starts: for Flock (greedy) and Gibbs the monitor carries the
+previous cycle's :class:`~repro.core.flock_fast.VectorJleState` across
+cycles and rebases it with the window's flow deltas
+(:meth:`VectorJleState.rebase`), so steady-state re-localization skips
+the full Δ initialization.  The first cycle is always cold; schemes
+without JLE state (Sherlock, NetBouncer, 007) localize cold every
+cycle on the incrementally-maintained window.  Warm and cold searches
+agree at convergence; the Gibbs warm chain starts from the carried
+hypothesis and is therefore a different chain than a cold run (see
+:meth:`repro.core.gibbs.GibbsInference.localize`).
+
+Detection latency is derived by :func:`incident_latencies`: an incident
+is a maximal run of cycles whose live injection has non-empty ground
+truth, and its latency is the time from incident onset to the first
+cycle whose prediction names at least one truly-failed component.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Deque, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..core.flock import FlockInference
+from ..core.flock_fast import DeltaContrib, VectorJleState
+from ..core.gibbs import GibbsInference
+from ..core.window import WindowedProblem
+from ..simulation.failures import PER_FLOW
+from ..simulation.stream import StreamChunk
+from ..telemetry.inputs import build_observation_batch
+from ..topology.base import Topology
+from ..types import Prediction
+from .harness import SchemeSetup
+from .schemes import make_setup
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """One monitor cycle's outcome."""
+
+    cycle: int
+    t_start: float
+    t_end: float
+    raw_flows: int
+    grouped_flows: int
+    prediction: Prediction
+    truth: frozenset
+    detected: bool
+    churn: int
+    build_seconds: float
+    localize_seconds: float
+
+
+def incident_latencies(reports: List[CycleReport]) -> List[Dict[str, object]]:
+    """Detection latency per incident.
+
+    Incidents are maximal runs of cycles with non-empty ground truth;
+    ``latency_cycles``/``latency_seconds`` measure onset to the first
+    detecting cycle (``None`` when the incident was never detected).
+    """
+    incidents: List[Dict[str, object]] = []
+    onset: Optional[int] = None
+    detected_at: Optional[int] = None
+
+    def close(end: int) -> None:
+        start = onset
+        latency = None if detected_at is None else detected_at - start
+        seconds = (
+            None if detected_at is None
+            else reports[detected_at].t_end - reports[start].t_start
+        )
+        incidents.append({
+            "onset_cycle": start,
+            "clear_cycle": end,
+            "detected_cycle": detected_at,
+            "latency_cycles": latency,
+            "latency_seconds": seconds,
+        })
+
+    for report in reports:
+        if report.truth:
+            if onset is None:
+                onset = report.cycle
+                detected_at = None
+            if detected_at is None and report.detected:
+                detected_at = report.cycle
+        elif onset is not None:
+            close(report.cycle)
+            onset = None
+    if onset is not None:
+        close(reports[-1].cycle + 1)
+    return incidents
+
+
+class StreamMonitor:
+    """Drive ingest -> window update -> localize over a chunk stream."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scheme: str = "flock",
+        window: int = 4,
+        warm: bool = True,
+        seed: int = 0,
+        compressed: bool = True,
+        setup: Optional[SchemeSetup] = None,
+    ) -> None:
+        self.topology = topology
+        self.setup = setup if setup is not None else make_setup(scheme)
+        self.window = window
+        self.seed = seed
+        localizer = self.setup.localizer
+        self.warm = warm and isinstance(
+            localizer, (FlockInference, GibbsInference)
+        )
+        self.windowed = WindowedProblem(
+            n_components=topology.n_components,
+            n_links=topology.n_links,
+            window=window,
+            compressed=compressed,
+        )
+        self._state: Optional[VectorJleState] = None
+        # Per retained chunk, the DeltaContrib its rows were priced at
+        # when appended (None for chunks folded in cold) - replayed to
+        # rebase when the chunk expires and the hypothesis held still.
+        self._contribs: Deque[Optional[DeltaContrib]] = deque()
+        self._prev_components: frozenset = frozenset()
+
+    def _telemetry_for(self, chunk: StreamChunk):
+        config = self.setup.telemetry
+        if chunk.injection.analysis == PER_FLOW and config.analysis != PER_FLOW:
+            return replace(config, analysis=PER_FLOW)
+        return config
+
+    def step(self, chunk: StreamChunk) -> CycleReport:
+        """Fold one chunk in and re-localize."""
+        config = self._telemetry_for(chunk)
+        rng = np.random.default_rng(self.seed + 0x5EED + chunk.index)
+        t0 = time.perf_counter()
+        obs = build_observation_batch(chunk.batch, config, rng)
+        update = self.windowed.append(obs)
+        problem = update.problem
+        build_seconds = time.perf_counter() - t0
+
+        localizer = self.setup.localizer
+        t0 = time.perf_counter()
+        if self.warm:
+            params = localizer.params
+            expired_contrib = (
+                self._contribs.popleft()
+                if len(self._contribs) >= self.window else None
+            )
+            if self._state is None:
+                state = VectorJleState(problem, params)
+            else:
+                state = VectorJleState.rebase(
+                    problem,
+                    self._state,
+                    update.removed_flows,
+                    update.removed_weights,
+                    update.added_flows,
+                    update.added_weights,
+                    removed_contrib=expired_contrib,
+                )
+            self._contribs.append(state.added_contrib)
+            if isinstance(localizer, GibbsInference):
+                prediction = localizer.localize(problem, initial_state=state)
+            else:
+                prediction = localizer.localize(problem, warm_state=state)
+            self._state = state
+        else:
+            prediction = localizer.localize(problem)
+        localize_seconds = time.perf_counter() - t0
+
+        truth = frozenset(chunk.injection.ground_truth.failed_components)
+        report = CycleReport(
+            cycle=chunk.index,
+            t_start=chunk.t_start,
+            t_end=chunk.t_end,
+            raw_flows=len(obs),
+            grouped_flows=problem.n_flows,
+            prediction=prediction,
+            truth=truth,
+            detected=bool(prediction.components & truth),
+            churn=len(prediction.components ^ self._prev_components),
+            build_seconds=build_seconds,
+            localize_seconds=localize_seconds,
+        )
+        self._prev_components = prediction.components
+        return report
+
+    def run(self, chunks: Iterable[StreamChunk]) -> List[CycleReport]:
+        """Run the full ingest -> update -> localize loop."""
+        return [self.step(chunk) for chunk in chunks]

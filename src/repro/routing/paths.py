@@ -47,6 +47,26 @@ def first_seen_ids(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     interning/grouping, so every call site shares this one
     implementation.
     """
+    values = np.asarray(values)
+    n = len(values)
+    if n and values.dtype.kind in "iu" and int(values.min()) >= 0:
+        span = int(values.max()) + 1
+        if span <= 1 << 16:
+            # Dense small ids (interned path/set handles): a uint16
+            # radix argsort replaces the comparison sort inside
+            # np.unique.  Stability makes each run's first element the
+            # value's earliest row, which is all first-seen order needs.
+            order = np.argsort(values.astype(np.uint16), kind="stable")
+            sv = values[order]
+            boundary = np.empty(n, dtype=bool)
+            boundary[0] = True
+            np.not_equal(sv[1:], sv[:-1], out=boundary[1:])
+            first_idx = order[boundary]
+            seen_order = np.argsort(first_idx)
+            ordered = sv[boundary][seen_order]
+            rank = np.empty(span, dtype=np.int64)
+            rank[ordered] = np.arange(len(ordered), dtype=np.int64)
+            return ordered.astype(values.dtype, copy=False), rank[values]
     uniq, first_idx, inverse = np.unique(
         values, return_index=True, return_inverse=True
     )

@@ -12,6 +12,7 @@ from .failures import (
     PER_FLOW,
     PER_PACKET,
     FailureScenario,
+    GrayDrift,
     Injection,
     LinkFlap,
     NoFailure,
@@ -22,6 +23,7 @@ from .failures import (
 from .flowsim import FlowLevelSimulator, empirical_link_loss
 from .latency import RTT_BAD_THRESHOLD_MS, LatencyModel, rtt_is_bad
 from .queueing import WredConfig, WredQueue, effective_drop_rate
+from .stream import StreamChunk, healthy_twin, replay_stream
 
 __all__ = [
     "DropRatePlan",
@@ -31,6 +33,7 @@ __all__ = [
     "FAILED_LINK_MIN_RATE",
     "FAILED_LINK_MAX_RATE",
     "FailureScenario",
+    "GrayDrift",
     "Injection",
     "SilentLinkDrops",
     "SilentDeviceFailure",
@@ -47,4 +50,7 @@ __all__ = [
     "WredConfig",
     "WredQueue",
     "effective_drop_rate",
+    "StreamChunk",
+    "healthy_twin",
+    "replay_stream",
 ]

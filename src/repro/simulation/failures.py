@@ -62,6 +62,22 @@ class FailureScenario:
     def inject(self, topology: Topology, rng: np.random.Generator) -> Injection:
         raise NotImplementedError
 
+    def inject_schedule(
+        self, topology: Topology, rng: np.random.Generator, n_chunks: int
+    ) -> List[Injection]:
+        """Per-chunk injections for a streamed replay of this scenario.
+
+        The default schedule holds one injection steady for the whole
+        stream - the batch scenarios are time-invariant.  Time-varying
+        scenarios (e.g. :class:`GrayDrift`) override this to change the
+        plan mid-stream.  Exactly the RNG draws of one :meth:`inject`
+        call are consumed, keeping the stream's RNG cursor aligned with
+        the batch pipeline's.
+        """
+        if n_chunks < 1:
+            raise SimulationError("a schedule needs at least one chunk")
+        return [self.inject(topology, rng)] * n_chunks
+
 
 def _pick_fabric_links(
     topology: Topology, n: int, rng: np.random.Generator
@@ -188,6 +204,59 @@ class LinkFlap(FailureScenario):
 
 
 @dataclass(frozen=True)
+class GrayDrift(FailureScenario):
+    """Gray failure: link drop rates drift upward mid-stream.
+
+    ``n_links`` fabric links start at a benign ``start_rate`` and drift
+    linearly to ``end_rate`` over the stream.  A link joins the ground
+    truth only once its current rate reaches the paper's failed-link
+    floor (``FAILED_LINK_MIN_RATE``), so early chunks look healthy and
+    detection latency is meaningful.  The batch :meth:`inject` returns
+    the fully-drifted endpoint (the scenario a post-hoc trace would
+    capture).
+    """
+
+    n_links: int = 1
+    start_rate: float = 0.0
+    end_rate: float = FAILED_LINK_MAX_RATE
+
+    def __post_init__(self) -> None:
+        if self.n_links < 0:
+            raise SimulationError("n_links must be non-negative")
+        if not 0.0 <= self.start_rate <= self.end_rate <= 1.0:
+            raise SimulationError("need 0 <= start_rate <= end_rate <= 1")
+
+    def _drifted(
+        self, base: DropRatePlan, drifting: Tuple[int, ...], frac: float
+    ) -> Injection:
+        rate = self.start_rate + frac * (self.end_rate - self.start_rate)
+        plan = base.with_rates({link: rate for link in drifting})
+        failed = tuple(l for l in drifting if rate >= FAILED_LINK_MIN_RATE)
+        truth = GroundTruth(
+            failed_links=frozenset(failed),
+            drop_rates={link: rate for link in failed},
+        )
+        return Injection(ground_truth=truth, plan=plan)
+
+    def inject(self, topology: Topology, rng: np.random.Generator) -> Injection:
+        plan = good_link_rates(topology, rng)
+        drifting = _pick_fabric_links(topology, self.n_links, rng)
+        return self._drifted(plan, drifting, 1.0)
+
+    def inject_schedule(
+        self, topology: Topology, rng: np.random.Generator, n_chunks: int
+    ) -> List[Injection]:
+        if n_chunks < 1:
+            raise SimulationError("a schedule needs at least one chunk")
+        plan = good_link_rates(topology, rng)
+        drifting = _pick_fabric_links(topology, self.n_links, rng)
+        denom = max(1, n_chunks - 1)
+        return [
+            self._drifted(plan, drifting, i / denom) for i in range(n_chunks)
+        ]
+
+
+@dataclass(frozen=True)
 class NoFailure(FailureScenario):
     """Healthy network (used for false-positive measurement)."""
 
@@ -247,3 +316,4 @@ register_scenario("silent-device-failure", SilentDeviceFailure)
 register_scenario("queue-misconfig", QueueMisconfig)
 register_scenario("link-flap", LinkFlap)
 register_scenario("no-failure", NoFailure)
+register_scenario("gray-drift", GrayDrift)

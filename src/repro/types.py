@@ -120,6 +120,12 @@ class FlowBatch:
     object-pipeline adapter - it materializes the exact per-flow
     records the legacy API produced, so baselines, the agent/collector
     path, and the dataset serializer keep working unchanged.
+
+    Streaming chunks carry an optional ``t_start`` column (per-flow
+    arrival time in seconds); batch producers leave it ``None``.
+    Chunks over the same :class:`PathSpace` concatenate with
+    :meth:`concat` and split with :meth:`slice` - interned ids stay
+    valid because the space is shared, never copied.
     """
 
     space: "PathSpace"
@@ -131,6 +137,7 @@ class FlowBatch:
     is_probe: np.ndarray
     path_set: np.ndarray
     chosen_path: np.ndarray
+    t_start: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         n = len(self.src)
@@ -138,6 +145,8 @@ class FlowBatch:
                      "path_set", "chosen_path"):
             if len(getattr(self, name)) != n:
                 raise ValueError(f"column {name!r} is not aligned ({n} flows)")
+        if self.t_start is not None and len(self.t_start) != n:
+            raise ValueError(f"column 't_start' is not aligned ({n} flows)")
 
     def __len__(self) -> int:
         return len(self.src)
@@ -145,6 +154,70 @@ class FlowBatch:
     @property
     def n_flows(self) -> int:
         return len(self.src)
+
+    @staticmethod
+    def concat(batches: Sequence["FlowBatch"]) -> "FlowBatch":
+        """Concatenate chunks over one shared :class:`PathSpace`.
+
+        Either every chunk carries ``t_start`` or none does - a mixed
+        concatenation would silently fabricate or drop arrival times.
+        """
+        if not batches:
+            raise ValueError("cannot concatenate zero flow batches")
+        space = batches[0].space
+        for other in batches[1:]:
+            if other.space is not space:
+                raise ValueError(
+                    "flow batches must share one PathSpace to concatenate"
+                )
+        timed = [b.t_start is not None for b in batches]
+        if any(timed) and not all(timed):
+            raise ValueError(
+                "cannot concatenate timestamped and untimestamped batches"
+            )
+        return FlowBatch(
+            space=space,
+            src=np.concatenate([b.src for b in batches]),
+            dst=np.concatenate([b.dst for b in batches]),
+            packets=np.concatenate([b.packets for b in batches]),
+            bad=np.concatenate([b.bad for b in batches]),
+            rtt_ms=np.concatenate([b.rtt_ms for b in batches]),
+            is_probe=np.concatenate([b.is_probe for b in batches]),
+            path_set=np.concatenate([b.path_set for b in batches]),
+            chosen_path=np.concatenate([b.chosen_path for b in batches]),
+            t_start=(
+                np.concatenate([b.t_start for b in batches])
+                if all(timed) else None
+            ),
+        )
+
+    def slice(self, start: int, stop: int) -> "FlowBatch":
+        """A contiguous sub-chunk ``[start:stop)`` sharing this batch's
+        space (columns are numpy views, not copies)."""
+        return FlowBatch(
+            space=self.space,
+            src=self.src[start:stop],
+            dst=self.dst[start:stop],
+            packets=self.packets[start:stop],
+            bad=self.bad[start:stop],
+            rtt_ms=self.rtt_ms[start:stop],
+            is_probe=self.is_probe[start:stop],
+            path_set=self.path_set[start:stop],
+            chosen_path=self.chosen_path[start:stop],
+            t_start=(
+                None if self.t_start is None else self.t_start[start:stop]
+            ),
+        )
+
+    def with_t_start(self, t_start: np.ndarray) -> "FlowBatch":
+        """A copy of this batch with the arrival-time column attached."""
+        return FlowBatch(
+            space=self.space, src=self.src, dst=self.dst,
+            packets=self.packets, bad=self.bad, rtt_ms=self.rtt_ms,
+            is_probe=self.is_probe, path_set=self.path_set,
+            chosen_path=self.chosen_path,
+            t_start=np.asarray(t_start, dtype=np.float64),
+        )
 
     def record(self, i: int) -> "FlowRecord":
         """Materialize one flow as an object-pipeline record."""
