@@ -78,6 +78,58 @@ PRESET_SKIPS = {
 }
 
 
+def machine_fingerprint() -> dict:
+    """Identify the benchmarking machine without leaking its hostname.
+
+    Wall-clock benchmark numbers only compare meaningfully on the same
+    hardware; the fingerprint (hashed hostname, CPU model, core count)
+    lets ``--check`` warn when an artifact from one machine is being
+    used to gate another.
+    """
+    import hashlib
+    import os
+    import platform
+    import socket
+
+    cpu_model = platform.processor() or platform.machine()
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    cpu_model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {
+        "host": hashlib.sha256(
+            socket.gethostname().encode()
+        ).hexdigest()[:12],
+        "cpu_model": cpu_model,
+        "cores": os.cpu_count(),
+    }
+
+
+def check_machine(baseline: dict) -> None:
+    """Warn when ``--check`` compares across different machines."""
+    recorded = baseline.get("machine")
+    if not recorded:
+        print("note: baseline artifact has no machine fingerprint "
+              "(written by an older runner); timings may not be comparable")
+        return
+    current = machine_fingerprint()
+    diffs = [
+        f"{key}: baseline {recorded.get(key)!r} vs here {current[key]!r}"
+        for key in ("host", "cpu_model", "cores")
+        if recorded.get(key) != current[key]
+    ]
+    if diffs:
+        print("WARNING: baseline artifact was measured on different "
+              "hardware; absolute timings are not comparable and the "
+              "regression gate may mislead:")
+        for diff in diffs:
+            print(f"  {diff}")
+
+
 def _git_sha() -> str:
     try:
         return subprocess.run(
@@ -315,6 +367,7 @@ def main() -> int:
     if baseline is not None:
         print(f"\nchecking against {args.check} "
               f"(threshold {args.threshold:.0%})")
+        check_machine(baseline)
         regressions, compared = check_regressions(
             baseline, results, args.threshold, args.min_seconds
         )
@@ -340,6 +393,7 @@ def main() -> int:
     payload = {
         "label": label,
         "git_sha": _git_sha(),
+        "machine": machine_fingerprint(),
         "preset": args.preset,
         "repeats": args.repeats,
         "benchmarks": results,

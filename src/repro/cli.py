@@ -37,12 +37,27 @@ evaluates the chosen operating points and shard-merges bit-identically.
 The combined ``table1`` experiment refuses ``--shards`` because its
 build-time calibration dominates and would be repeated per worker.
 
-Cost model: every worker (and the merge) re-runs the experiment's spec
-builder and trace generation - only problem building and inference are
-divided.  Sharding pays off when inference dominates, which holds for
-the accuracy experiments at paper scale; it cannot help experiments
-that evaluate one trace per grid call (``fig4d``), where a worker may
-cover no traces at all (the CLI warns when that happens).
+Queue-backed fleet evaluation replaces static index assignment with a
+SQLite broker of leased work units - workers can start at any time, on
+any machine sharing the broker file, and a crashed worker's units are
+re-leased when their lease expires::
+
+    repro-flock fleet submit fig2.db fig2 --preset ci --unit-traces 4
+    repro-flock fleet work fig2.db        # x N processes / machines
+    repro-flock fleet status fig2.db
+    repro-flock fleet collect fig2.db --out fig2.json
+
+``fleet collect`` folds the stored results through the same replay
+path as ``merge``, so its metrics are also bit-identical to serial.
+
+Cost model (shards and fleet alike): every worker (and the
+merge/collect) re-runs the experiment's spec builder, and each worker
+pays trace generation for every grid point it touches - only problem
+building and inference are divided.  Distribution pays off when
+inference dominates, which holds for the accuracy experiments at paper
+scale; it cannot help experiments that evaluate one trace per grid
+call (``fig4d``), where a shard worker may cover no traces at all (the
+CLI warns when that happens).
 """
 
 from __future__ import annotations
@@ -134,6 +149,86 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument(
         "--out", default=None, metavar="PATH",
         help="also write the merged ExperimentResult as JSON",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="queue-backed distributed evaluation (SQLite work-unit broker)",
+    )
+    fsub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fsubmit = fsub.add_parser(
+        "submit", help="decompose an experiment into work units in a broker"
+    )
+    fsubmit.add_argument("broker", help="path for the new broker database")
+    fsubmit.add_argument("experiment", help="a shardable experiment name")
+    fsubmit.add_argument("--preset", choices=experiments.PRESETS, default="ci")
+    fsubmit.add_argument("--seed", type=int, default=None)
+    fsubmit.add_argument(
+        "--scheme", default=None, metavar="NAME",
+        help="evaluate only this registry scheme on the experiment's workload",
+    )
+    fsubmit.add_argument(
+        "--set", action="append", dest="overrides", default=[],
+        metavar="KEY=VAL",
+        help="override a spec-builder knob (repeatable); unknown keys fail",
+    )
+    fsubmit.add_argument(
+        "--unit-traces", type=int, default=1, metavar="T",
+        help="traces per work unit (default: 1; larger units amortize "
+             "per-unit overhead, smaller units retry more cheaply)",
+    )
+    fsubmit.add_argument(
+        "--lease-seconds", type=float, default=60.0, metavar="S",
+        help="how long a claimed unit stays leased before it is "
+             "re-queued (default: 60)",
+    )
+    fsubmit.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="claims per unit before it is marked failed (default: 3)",
+    )
+
+    fwork = fsub.add_parser(
+        "work", help="pull and execute work units until the broker drains"
+    )
+    fwork.add_argument("broker", help="path to an existing broker database")
+    fwork.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="stable worker identity (default: hostname-pid)",
+    )
+    fwork.add_argument(
+        "--max-units", type=int, default=None, metavar="N",
+        help="process at most N units, then exit (default: drain)",
+    )
+    fwork.add_argument(
+        "--no-wait", action="store_true",
+        help="exit when nothing is claimable instead of waiting out "
+             "other workers' leases",
+    )
+    fwork.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel scheme evaluation within each unit",
+    )
+    fwork.add_argument(
+        "--executor", choices=EXECUTORS, default=None,
+        help="execution backend; defaults to 'process' when --jobs > 1",
+    )
+
+    fstatus = fsub.add_parser(
+        "status", help="show a broker's unit-lifecycle counts"
+    )
+    fstatus.add_argument("broker", help="path to an existing broker database")
+    fstatus.add_argument(
+        "--units", action="store_true", help="also list every unit's row"
+    )
+
+    fcollect = fsub.add_parser(
+        "collect", help="fold a finished fleet into the experiment result"
+    )
+    fcollect.add_argument("broker", help="path to an existing broker database")
+    fcollect.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the collected ExperimentResult as JSON",
     )
 
     dataset = sub.add_parser(
@@ -283,6 +378,20 @@ def _run_shard(args) -> int:
 
 def _merge(args) -> int:
     """Reassemble a full ExperimentResult from shard files."""
+    seen: Dict[Path, str] = {}
+    for raw in args.shard_files:
+        resolved = Path(raw).resolve()
+        if resolved in seen:
+            raise ExperimentError(
+                f"duplicate shard file {raw!r}"
+                + (
+                    f" (same file as {seen[resolved]!r})"
+                    if seen[resolved] != raw
+                    else ""
+                )
+                + "; each shard file must be listed once"
+            )
+        seen[resolved] = raw
     payloads = []
     for path in args.shard_files:
         try:
@@ -313,6 +422,75 @@ def _merge(args) -> int:
     if args.out:
         print(f"\nwrote merged result to {save_result(result, args.out)}")
     return 0
+
+
+def _fleet(args) -> int:
+    """Dispatch the ``fleet`` subcommands (submit/work/status/collect)."""
+    from .eval import fleet
+
+    if args.fleet_command == "submit":
+        report = fleet.submit(
+            args.broker,
+            args.experiment,
+            preset=args.preset,
+            seed=args.seed,
+            scheme=args.scheme,
+            overrides=parse_overrides(args.overrides),
+            unit_traces=args.unit_traces,
+            lease_seconds=args.lease_seconds,
+            max_attempts=args.max_attempts,
+        )
+        print(
+            f"submitted {report.experiment} ({report.preset}): "
+            f"{report.n_units} work unit(s) over {report.n_calls} grid "
+            f"call(s) -> {report.path}"
+        )
+        return 0
+    if args.fleet_command == "work":
+        if args.max_units is not None and args.max_units < 1:
+            raise ExperimentError(
+                f"--max-units must be >= 1, got {args.max_units}"
+            )
+        report = fleet.work(
+            args.broker,
+            worker_id=args.worker_id,
+            runner=_runner_from_args(args),
+            max_units=args.max_units,
+            wait=not args.no_wait,
+        )
+        print(
+            f"worker {report.worker}: {report.completed} unit(s) completed, "
+            f"{report.failed} failed, {report.stale} stale"
+        )
+        return 0
+    if args.fleet_command == "status":
+        state = fleet.status(args.broker, detail=args.units)
+        counts = state["counts"]
+        total = sum(counts.values())
+        scheme = f", scheme {state['scheme']}" if state.get("scheme") else ""
+        print(
+            f"{state['experiment']} ({state['preset']}{scheme}): "
+            f"{total} unit(s): "
+            + ", ".join(f"{v} {k}" for k, v in counts.items())
+        )
+        for unit_id, error in state["errors"]:
+            print(f"  unit {unit_id} failed: {error}")
+        if args.units:
+            for row in state["units"]:
+                holder = f" worker={row['worker']}" if row["worker"] else ""
+                print(
+                    f"  unit {row['id']}: call {row['call_index']} traces "
+                    f"[{row['start']}, {row['stop']}) {row['status']} "
+                    f"attempts={row['attempts']}{holder}"
+                )
+        return 0
+    if args.fleet_command == "collect":
+        result = fleet.collect(args.broker)
+        print_result(result)
+        if args.out:
+            print(f"\nwrote collected result to {save_result(result, args.out)}")
+        return 0
+    raise ExperimentError(f"unknown fleet command {args.fleet_command!r}")
 
 
 def _list(args) -> int:
@@ -445,6 +623,8 @@ def _main(argv=None) -> int:
         return _list(args)
     if args.command == "merge":
         return _merge(args)
+    if args.command == "fleet":
+        return _fleet(args)
     if args.command == "stream":
         return _stream(args)
     if args.experiment == "all":

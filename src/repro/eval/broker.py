@@ -1,0 +1,495 @@
+"""SQLite work-unit broker: the fleet's queue and results database.
+
+One broker file holds one submitted experiment, decomposed into
+:class:`~repro.eval.units.WorkUnit` rows (the *keyfields*: experiment
+metadata + each unit's grid call and trace range) and a ``results``
+table of wire-codec payloads keyed by unit id (the *resultfields*).
+Workers on any machine open the same file, lease units, and write
+results back; because a unit's inputs and outputs are both rows,
+retries and resumption are free - re-running a worker against a
+half-finished broker just drains what's left.
+
+Unit lifecycle::
+
+    pending --claim--> leased --complete--> done
+       ^                 |
+       |   lease expired | or fail(), attempts < max_attempts
+       +-----------------+
+                         |
+                         | attempts >= max_attempts
+                         v
+                       failed
+
+* **Leases** bound the damage of a crashed worker: a claim holds for
+  ``lease_seconds``; an expired lease is reaped back to ``pending`` on
+  the next broker operation, so the unit is re-run by whoever claims
+  next.  A completion from a worker that lost its lease is discarded
+  (results are deterministic, but exactly-one-writer keeps the results
+  table unambiguous).
+* **Bounded retries**: every claim counts as an attempt; a unit whose
+  lease expires (or whose execution raises) after ``max_attempts``
+  claims moves to ``failed`` with the error recorded, and
+  :func:`~repro.eval.fleet.collect` refuses to assemble a result until
+  someone intervenes.
+* **Schema safety**: the broker stores the wire-codec
+  :data:`~repro.eval.serialize.SCHEMA_VERSION` and the submitted
+  :class:`~repro.eval.units.CallPlan` sequence; opening a broker from
+  a checkout speaking a different wire version fails loudly, and
+  workers additionally validate their live grid against the stored
+  plan before any result is written.
+
+Concurrency: WAL journal mode plus short ``BEGIN IMMEDIATE``
+transactions make claim/complete safe across processes and machines
+sharing the file (NFS caveats apply as usual for SQLite; same-host
+multi-process is the designed case).  All timestamps come through the
+``now`` parameters so tests can drive lease expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from .serialize import SCHEMA_VERSION
+from .units import (
+    CallPlan,
+    WorkUnit,
+    call_plans_from_wire,
+    call_plans_to_wire,
+    unit_payload_entries,
+)
+
+BROKER_FORMAT = "flock-broker-v1"
+
+#: Experiment-identity keys stored in broker meta (mirrors the shard
+#: payload's ``_META_KEYS`` contract: everything that changes the spec).
+EXPERIMENT_META_KEYS = ("experiment", "preset", "seed", "scheme", "overrides")
+
+_SCHEMA = """
+CREATE TABLE meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE units (
+    id            INTEGER PRIMARY KEY,
+    call_index    INTEGER NOT NULL,
+    start         INTEGER NOT NULL,
+    stop          INTEGER NOT NULL,
+    seeds         TEXT NOT NULL,
+    status        TEXT NOT NULL DEFAULT 'pending',
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    worker        TEXT,
+    lease_expires REAL,
+    error         TEXT
+);
+CREATE INDEX units_by_status ON units(status, id);
+CREATE TABLE results (
+    unit_id      INTEGER PRIMARY KEY REFERENCES units(id),
+    payload      TEXT NOT NULL,
+    worker       TEXT NOT NULL,
+    completed_at REAL NOT NULL
+);
+"""
+
+STATUSES = ("pending", "leased", "done", "failed")
+
+
+@dataclass(frozen=True)
+class FleetCounts:
+    """Live unit-lifecycle counts (``repro-flock fleet status``)."""
+
+    pending: int = 0
+    leased: int = 0
+    done: int = 0
+    failed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.pending + self.leased + self.done + self.failed
+
+    @property
+    def finished(self) -> bool:
+        return self.pending == 0 and self.leased == 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {status: getattr(self, status) for status in STATUSES}
+
+
+@dataclass(frozen=True)
+class LeasedUnit:
+    """One claimed unit: the work plus its lease bookkeeping."""
+
+    unit_id: int
+    unit: WorkUnit
+    attempt: int
+    lease_expires: float
+
+
+def _encode_meta(value) -> str:
+    return json.dumps(value)
+
+
+class Broker:
+    """One experiment's work-unit queue + results database.
+
+    Construct via :meth:`create` (submitter) or :meth:`open` (workers,
+    status, collector).  Usable as a context manager; every public
+    method is one short transaction, so a single ``Broker`` instance
+    can be shared across a worker's whole run but not across threads.
+    """
+
+    def __init__(self, path: Path, connection: sqlite3.Connection):
+        self.path = path
+        self._conn = connection
+
+    # -- construction --------------------------------------------------
+
+    @staticmethod
+    def _connect(path: Path) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(path), timeout=30.0, isolation_level=None)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA busy_timeout=30000")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        return conn
+
+    @classmethod
+    def create(
+        cls,
+        path,
+        meta: Dict[str, object],
+        plan: Sequence[CallPlan],
+        units: Sequence[WorkUnit],
+        lease_seconds: float = 60.0,
+        max_attempts: int = 3,
+        now: Optional[float] = None,
+    ) -> "Broker":
+        """Initialize a new broker file with an experiment's unit set."""
+        path = Path(path)
+        if path.exists():
+            raise ExperimentError(
+                f"broker file {path} already exists; submit to a fresh path "
+                "(workers resume a half-finished fleet by just running "
+                "against the existing file)"
+            )
+        if not units:
+            raise ExperimentError("refusing to create a broker with no work units")
+        if lease_seconds <= 0:
+            raise ExperimentError(
+                f"lease_seconds must be > 0, got {lease_seconds}"
+            )
+        if max_attempts < 1:
+            raise ExperimentError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        unknown = sorted(set(meta) - set(EXPERIMENT_META_KEYS))
+        if unknown:
+            raise ExperimentError(f"unknown broker meta keys: {unknown}")
+        conn = cls._connect(path)
+        try:
+            conn.executescript(_SCHEMA)
+            rows = {
+                "format": BROKER_FORMAT,
+                "schema_version": SCHEMA_VERSION,
+                "plan": call_plans_to_wire(plan),
+                "lease_seconds": float(lease_seconds),
+                "max_attempts": int(max_attempts),
+                "created_at": now if now is not None else time.time(),
+            }
+            for key in EXPERIMENT_META_KEYS:
+                rows[key] = meta.get(key)
+            conn.execute("BEGIN IMMEDIATE")
+            conn.executemany(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                [(key, _encode_meta(value)) for key, value in rows.items()],
+            )
+            conn.executemany(
+                "INSERT INTO units (call_index, start, stop, seeds) "
+                "VALUES (?, ?, ?, ?)",
+                [
+                    (u.call_index, u.start, u.stop, json.dumps(list(u.seeds)))
+                    for u in units
+                ],
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.close()
+            raise
+        return cls(path, conn)
+
+    @classmethod
+    def open(cls, path) -> "Broker":
+        """Open an existing broker, validating format + wire schema."""
+        path = Path(path)
+        if not path.exists():
+            raise ExperimentError(f"broker file {path} does not exist")
+        try:
+            conn = cls._connect(path)
+        except sqlite3.DatabaseError as exc:
+            raise ExperimentError(
+                f"{path} is not a broker database: {exc}"
+            ) from None
+        try:
+            try:
+                rows = dict(conn.execute("SELECT key, value FROM meta"))
+            except sqlite3.DatabaseError as exc:
+                raise ExperimentError(
+                    f"{path} is not a broker database: {exc}"
+                ) from None
+            fmt = json.loads(rows.get("format", "null"))
+            if fmt != BROKER_FORMAT:
+                raise ExperimentError(
+                    f"{path} is not a {BROKER_FORMAT} database (format={fmt!r})"
+                )
+            version = json.loads(rows.get("schema_version", "null"))
+            if version != SCHEMA_VERSION:
+                raise ExperimentError(
+                    f"broker {path} speaks wire schema v{version!r} but this "
+                    f"checkout speaks v{SCHEMA_VERSION}; run the fleet on "
+                    "matching checkouts"
+                )
+        except BaseException:
+            conn.close()
+            raise
+        return cls(path, conn)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Broker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- metadata ------------------------------------------------------
+
+    def meta(self) -> Dict[str, object]:
+        """All meta rows, JSON-decoded."""
+        return {
+            key: json.loads(value)
+            for key, value in self._conn.execute("SELECT key, value FROM meta")
+        }
+
+    def experiment_meta(self) -> Dict[str, object]:
+        """The experiment-identity subset of :meth:`meta`."""
+        meta = self.meta()
+        return {key: meta.get(key) for key in EXPERIMENT_META_KEYS}
+
+    def plan(self) -> List[CallPlan]:
+        return call_plans_from_wire(self.meta()["plan"])
+
+    @property
+    def lease_seconds(self) -> float:
+        return float(self.meta()["lease_seconds"])
+
+    @property
+    def max_attempts(self) -> int:
+        return int(self.meta()["max_attempts"])
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _reap_expired(self, now: float, max_attempts: int) -> int:
+        """Within an open transaction: recycle expired leases.
+
+        Expired units with attempts left go back to ``pending``; the
+        rest move to ``failed`` with the expiry recorded.
+        """
+        expired = self._conn.execute(
+            "SELECT id, attempts, worker FROM units "
+            "WHERE status = 'leased' AND lease_expires < ?",
+            (now,),
+        ).fetchall()
+        for unit_id, attempts, worker in expired:
+            if attempts >= max_attempts:
+                self._conn.execute(
+                    "UPDATE units SET status = 'failed', error = ? WHERE id = ?",
+                    (
+                        f"lease expired after {attempts} attempt(s); "
+                        f"last worker: {worker}",
+                        unit_id,
+                    ),
+                )
+            else:
+                self._conn.execute(
+                    "UPDATE units SET status = 'pending', worker = NULL, "
+                    "lease_expires = NULL WHERE id = ?",
+                    (unit_id,),
+                )
+        return len(expired)
+
+    def claim(
+        self, worker: str, now: Optional[float] = None
+    ) -> Optional[LeasedUnit]:
+        """Atomically lease the oldest pending unit (reaping expired
+        leases first).  Returns ``None`` when nothing is claimable."""
+        now = now if now is not None else time.time()
+        meta = self.meta()
+        lease_seconds = float(meta["lease_seconds"])
+        max_attempts = int(meta["max_attempts"])
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._reap_expired(now, max_attempts)
+            row = self._conn.execute(
+                "SELECT id, call_index, start, stop, seeds, attempts "
+                "FROM units WHERE status = 'pending' ORDER BY id LIMIT 1"
+            ).fetchone()
+            if row is None:
+                self._conn.execute("COMMIT")
+                return None
+            unit_id, call_index, start, stop, seeds, attempts = row
+            expires = now + lease_seconds
+            self._conn.execute(
+                "UPDATE units SET status = 'leased', attempts = ?, "
+                "worker = ?, lease_expires = ?, error = NULL WHERE id = ?",
+                (attempts + 1, worker, expires, unit_id),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        unit = WorkUnit(call_index, start, stop, seeds=tuple(json.loads(seeds)))
+        return LeasedUnit(
+            unit_id=unit_id, unit=unit, attempt=attempts + 1,
+            lease_expires=expires,
+        )
+
+    def complete(
+        self,
+        unit_id: int,
+        worker: str,
+        payload: Dict,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Mark a leased unit done and store its result payload.
+
+        Returns ``False`` (and stores nothing) when the worker no
+        longer holds the unit's lease - e.g. it stalled past expiry and
+        the unit was re-leased - so exactly one result row ever exists
+        per unit.
+        """
+        now = now if now is not None else time.time()
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT status, worker FROM units WHERE id = ?", (unit_id,)
+            ).fetchone()
+            if row is None:
+                raise ExperimentError(f"unknown unit id {unit_id}")
+            status, holder = row
+            if status != "leased" or holder != worker:
+                self._conn.execute("COMMIT")
+                return False
+            self._conn.execute(
+                "UPDATE units SET status = 'done', lease_expires = NULL "
+                "WHERE id = ?",
+                (unit_id,),
+            )
+            self._conn.execute(
+                "INSERT INTO results (unit_id, payload, worker, completed_at) "
+                "VALUES (?, ?, ?, ?)",
+                (unit_id, json.dumps(payload), worker, now),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return True
+
+    def fail(
+        self,
+        unit_id: int,
+        worker: str,
+        error: str,
+        now: Optional[float] = None,
+    ) -> Optional[str]:
+        """Record a failed execution attempt for a leased unit.
+
+        Returns the unit's new status (``'pending'`` while retries
+        remain, ``'failed'`` once attempts are exhausted), or ``None``
+        when the worker no longer held the lease.
+        """
+        max_attempts = self.max_attempts
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT status, worker, attempts FROM units WHERE id = ?",
+                (unit_id,),
+            ).fetchone()
+            if row is None:
+                raise ExperimentError(f"unknown unit id {unit_id}")
+            status, holder, attempts = row
+            if status != "leased" or holder != worker:
+                self._conn.execute("COMMIT")
+                return None
+            new_status = "failed" if attempts >= max_attempts else "pending"
+            self._conn.execute(
+                "UPDATE units SET status = ?, worker = NULL, "
+                "lease_expires = NULL, error = ? WHERE id = ?",
+                (new_status, error, unit_id),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return new_status
+
+    # -- introspection -------------------------------------------------
+
+    def counts(self) -> FleetCounts:
+        rows = dict(
+            self._conn.execute(
+                "SELECT status, COUNT(*) FROM units GROUP BY status"
+            )
+        )
+        return FleetCounts(**{status: rows.get(status, 0) for status in STATUSES})
+
+    def next_lease_expiry(self) -> Optional[float]:
+        """Earliest outstanding lease expiry (workers sleep until it)."""
+        row = self._conn.execute(
+            "SELECT MIN(lease_expires) FROM units WHERE status = 'leased'"
+        ).fetchone()
+        return row[0]
+
+    def unit_rows(self) -> List[Dict[str, object]]:
+        """Every unit's full row (``fleet status`` detail view)."""
+        rows = self._conn.execute(
+            "SELECT id, call_index, start, stop, seeds, status, attempts, "
+            "worker, lease_expires, error FROM units ORDER BY id"
+        ).fetchall()
+        return [
+            {
+                "id": r[0], "call_index": r[1], "start": r[2], "stop": r[3],
+                "seeds": json.loads(r[4]), "status": r[5], "attempts": r[6],
+                "worker": r[7], "lease_expires": r[8], "error": r[9],
+            }
+            for r in rows
+        ]
+
+    def errors(self) -> List[Tuple[int, str]]:
+        """(unit id, error) for units that failed permanently."""
+        return [
+            (unit_id, error)
+            for unit_id, error in self._conn.execute(
+                "SELECT id, error FROM units WHERE status = 'failed' ORDER BY id"
+            )
+        ]
+
+    def results(self) -> List[Tuple[WorkUnit, List]]:
+        """Completed units with their recorded wire entries, unit order."""
+        rows = self._conn.execute(
+            "SELECT u.call_index, u.start, u.stop, u.seeds, r.payload "
+            "FROM results r JOIN units u ON u.id = r.unit_id ORDER BY r.unit_id"
+        ).fetchall()
+        out = []
+        for call_index, start, stop, seeds, payload in rows:
+            unit = WorkUnit(
+                call_index, start, stop, seeds=tuple(json.loads(seeds))
+            )
+            entries = unit_payload_entries(json.loads(payload))
+            out.append((unit, entries))
+        return out

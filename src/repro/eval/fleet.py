@@ -1,0 +1,296 @@
+"""Fleet evaluation: broker-driven workers and the result collector.
+
+The dynamic scheduling policy over :mod:`repro.eval.units` (the static
+one is :mod:`repro.eval.shard`).  One submitter decomposes an
+experiment into work units and loads them into a SQLite
+:class:`~repro.eval.broker.Broker`; any number of workers - started at
+any time, on any machine sharing the broker file - pull units, execute
+them through the ordinary :func:`~repro.eval.spec.run_spec` machinery,
+and write wire-codec results back; the collector reassembles the full
+:class:`~repro.eval.spec.ExperimentResult`, bit-identical to a serial
+``repro-flock run`` for the same spec.
+
+Flow::
+
+    submit(path, "fig2", preset="tiny")        # units -> broker
+    work(path)  x N processes                  # lease, run, complete
+    result = collect(path)                     # fold + replay
+
+Fault tolerance comes from the broker's lease lifecycle: a worker that
+dies mid-unit simply stops renewing its claim, the lease expires, and
+the unit is re-leased to whoever claims next; determinism (all
+randomness flows from per-trace seeds) makes the re-run's results
+identical to what the dead worker would have produced.  Workers with
+nothing claimable but leases still outstanding sleep until the next
+lease expiry, so a fleet of N workers survives any N-1 of them
+crashing.  A unit that keeps *failing* (the experiment itself raises)
+moves to ``failed`` after the broker's ``max_attempts`` and
+:func:`collect` refuses to produce a result until someone intervenes.
+
+Cost model matches sharding: every worker re-runs the spec builder and
+pays trace generation per *point* it touches (amortized across that
+worker's units via ``run_spec``'s ``point_cache``); only problem
+building and inference are divided.  Prefer ``unit_traces`` well above
+1 unless retries are the dominant concern.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from ..errors import ExperimentError
+from .broker import Broker, FleetCounts, LeasedUnit
+from .runner import RunnerConfig
+from .spec import (
+    ExperimentResult,
+    build_experiment_spec,
+    get_experiment,
+    run_spec,
+    shardable_experiment_names,
+)
+from .units import (
+    SingleUnitRecorder,
+    UnitReplayer,
+    assemble_calls,
+    plan_calls,
+    plan_units,
+)
+
+
+@dataclass(frozen=True)
+class SubmitReport:
+    """What a submission loaded into the broker."""
+
+    path: Path
+    experiment: str
+    preset: str
+    n_calls: int
+    n_units: int
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """One worker run's tally."""
+
+    worker: str
+    completed: int
+    failed: int
+    stale: int  #: completions discarded because the lease had expired
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def submit(
+    broker_path,
+    experiment: str,
+    preset: str = "ci",
+    seed: Optional[int] = None,
+    scheme: Optional[str] = None,
+    overrides: Optional[Dict[str, object]] = None,
+    unit_traces: int = 1,
+    lease_seconds: float = 60.0,
+    max_attempts: int = 3,
+) -> SubmitReport:
+    """Decompose an experiment into work units and create its broker.
+
+    The spec is built once here to compute the :class:`CallPlan`
+    sequence (the schema workers validate against); nothing is
+    evaluated.  Fails on experiments registered ``shardable=False`` -
+    the fleet shares sharding's purity requirement on the grid-call
+    sequence.
+    """
+    entry = get_experiment(experiment)
+    if not entry.shardable:
+        raise ExperimentError(
+            f"experiment {experiment!r} cannot be fleet-evaluated; "
+            f"shardable experiments: {', '.join(shardable_experiment_names())}"
+        )
+    overrides = dict(overrides or {})
+    spec = build_experiment_spec(
+        experiment, preset=preset, seed=seed, scheme=scheme,
+        overrides=overrides,
+    )
+    plan, units = plan_units(spec, unit_traces=unit_traces)
+    if not units:
+        raise ExperimentError(
+            f"experiment {experiment!r} at preset {preset!r} produced no "
+            "work units (no scheme point evaluates any trace)"
+        )
+    meta = {
+        "experiment": experiment,
+        "preset": preset,
+        "seed": seed,
+        "scheme": scheme,
+        "overrides": overrides,
+    }
+    Broker.create(
+        broker_path, meta, plan, units,
+        lease_seconds=lease_seconds, max_attempts=max_attempts,
+    ).close()
+    return SubmitReport(
+        path=Path(broker_path), experiment=experiment, preset=preset,
+        n_calls=len(plan), n_units=len(units),
+    )
+
+
+def _spec_from_meta(meta: Dict[str, object]):
+    return build_experiment_spec(
+        str(meta["experiment"]),
+        preset=str(meta.get("preset") or "ci"),
+        seed=meta.get("seed"),
+        scheme=meta.get("scheme"),
+        overrides=meta.get("overrides") or {},
+    )
+
+
+def work(
+    broker_path,
+    worker_id: Optional[str] = None,
+    runner: Optional[RunnerConfig] = None,
+    max_units: Optional[int] = None,
+    wait: bool = True,
+    on_claim: Optional[Callable[[LeasedUnit], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> WorkerReport:
+    """Drain work units from a broker until none are claimable.
+
+    The worker builds the experiment spec from broker metadata,
+    validates its live grid plan against the submitted one (a stale
+    checkout fails here, before any result is written), then loops:
+    claim, execute through :func:`run_spec` under a
+    :class:`SingleUnitRecorder`, store the wire payload.  Built
+    ``(topology, routing, traces)`` triples are cached across units.
+
+    With ``wait=True`` (default) a worker that finds nothing pending
+    while other leases are outstanding sleeps until the earliest lease
+    expiry and retries - this is what lets a surviving worker pick up a
+    crashed peer's unit.  ``max_units`` bounds how many units this call
+    processes (testing / incremental draining).  ``on_claim`` runs
+    after each successful claim, before execution (tests use it to
+    simulate stalls and crashes).
+    """
+    worker = worker_id or default_worker_id()
+    if runner is not None and runner.shard is not None:
+        raise ExperimentError("fleet work cannot nest inside another shard")
+    base = runner or RunnerConfig()
+    completed = failed = stale = 0
+    with Broker.open(broker_path) as broker:
+        meta = broker.experiment_meta()
+        submitted_plan = broker.plan()
+        spec = _spec_from_meta(meta)
+        live_plan = plan_calls(spec)
+        if live_plan != submitted_plan:
+            raise ExperimentError(
+                f"this checkout's grid plan for {meta['experiment']!r} "
+                f"({len(live_plan)} call(s)) does not match the broker's "
+                f"submitted plan ({len(submitted_plan)} call(s)); worker "
+                "and submitter must run matching checkouts"
+            )
+        point_cache: Dict = {}
+        while max_units is None or completed + failed < max_units:
+            leased = broker.claim(worker)
+            if leased is None:
+                counts = broker.counts()
+                if counts.finished or not wait:
+                    break
+                expiry = broker.next_lease_expiry()
+                delay = 0.25 if expiry is None else max(
+                    0.05, expiry - time.time() + 0.05
+                )
+                sleep(delay)
+                continue
+            if on_claim is not None:
+                on_claim(leased)
+            try:
+                recorder = SingleUnitRecorder(leased.unit, submitted_plan)
+                run_spec(
+                    spec, replace(base, shard=recorder),
+                    point_cache=point_cache,
+                )
+                payload = recorder.unit_payload()
+            except Exception as exc:  # noqa: BLE001 - any unit failure retries
+                outcome = broker.fail(leased.unit_id, worker, str(exc))
+                if outcome is not None:
+                    failed += 1
+                continue
+            if broker.complete(leased.unit_id, worker, payload):
+                completed += 1
+            else:
+                stale += 1
+    return WorkerReport(
+        worker=worker, completed=completed, failed=failed, stale=stale
+    )
+
+
+def status(broker_path, detail: bool = False) -> Dict[str, object]:
+    """A broker's live state: experiment meta, counts, optional unit rows."""
+    with Broker.open(broker_path) as broker:
+        out: Dict[str, object] = {
+            **broker.experiment_meta(),
+            "counts": broker.counts().as_dict(),
+            "errors": broker.errors(),
+        }
+        if detail:
+            out["units"] = broker.unit_rows()
+        return out
+
+
+def collect(
+    broker_path, runner: Optional[RunnerConfig] = None
+) -> ExperimentResult:
+    """Fold a finished fleet's results into the full experiment result.
+
+    Reassembles completed units into per-call records (exact trace
+    coverage enforced), then re-runs the experiment driver with a
+    :class:`UnitReplayer` installed - the identical fold ``merge``
+    uses, streaming recorded results through the runner's own
+    accumulators - so the collected metrics are bit-identical to a
+    serial run.  Refuses unfinished fleets and fleets with permanently
+    failed units, with counts in the error.
+    """
+    if runner is not None and runner.shard is not None:
+        raise ExperimentError("fleet collect cannot nest inside another shard")
+    with Broker.open(broker_path) as broker:
+        counts = broker.counts()
+        if counts.failed:
+            first_id, first_error = broker.errors()[0]
+            raise ExperimentError(
+                f"cannot collect: {counts.failed} of {counts.total} unit(s) "
+                f"failed permanently (first: unit {first_id}: {first_error}); "
+                "inspect 'fleet status', fix the cause, and resubmit"
+            )
+        if not counts.finished:
+            raise ExperimentError(
+                f"cannot collect an unfinished fleet: {counts.pending} "
+                f"pending and {counts.leased} leased of {counts.total} "
+                "unit(s); run more workers first"
+            )
+        plan = broker.plan()
+        calls = assemble_calls(plan, broker.results())
+        meta = broker.experiment_meta()
+        spec = _spec_from_meta(meta)
+    replayer = UnitReplayer(calls)
+    result = run_spec(
+        spec, replace(runner or RunnerConfig(), shard=replayer)
+    )
+    replayer.assert_exhausted()
+    return result
+
+
+__all__ = [
+    "FleetCounts",
+    "SubmitReport",
+    "WorkerReport",
+    "collect",
+    "default_worker_id",
+    "status",
+    "submit",
+    "work",
+]

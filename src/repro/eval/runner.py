@@ -126,6 +126,45 @@ def attach_trace(trace, worlds: Optional[List[Tuple[object, object]]] = None):
     return trace
 
 
+class GridHook:
+    """The unit-boundary protocol behind ``RunnerConfig.shard``.
+
+    A grid hook decides which trace indices of each :func:`run_grid`
+    call actually execute, and carries results across the process (or
+    machine) boundary in wire form.  Two sides share the protocol:
+
+    * **Record side** (``is_replay = False``): :meth:`plan_call` peeks
+      the index range the *next* grid call would execute without
+      opening it - :func:`~repro.eval.spec.run_spec` consults it before
+      generating a point's traces, so a worker whose hook covers none
+      of a call's traces skips that point's trace generation entirely.
+      :meth:`select_call` then opens the call record and returns the
+      indices to execute; :meth:`record` captures each executed trace
+      unit's per-setup results in wire form.
+    * **Replay side** (``is_replay = True``): :meth:`replay_call`
+      returns previously recorded ``(trace_idx, [TraceResult])`` units
+      for the next call; nothing executes.
+
+    Concrete hooks live in :mod:`repro.eval.units` (the generic
+    work-unit recorders and replayer) and :mod:`repro.eval.shard` (the
+    static-shard adapters built on them).
+    """
+
+    is_replay = False
+
+    def plan_call(self, labels: Sequence[str], n_traces: int) -> range:
+        raise NotImplementedError
+
+    def select_call(self, labels: Sequence[str], n_traces: int) -> range:
+        raise NotImplementedError
+
+    def record(self, trace_idx: int, results: Sequence) -> None:
+        raise NotImplementedError
+
+    def replay_call(self, labels: Sequence[str], n_traces: int):
+        raise NotImplementedError
+
+
 @dataclass(frozen=True)
 class RunnerConfig:
     """How to execute an evaluation grid.
@@ -135,11 +174,12 @@ class RunnerConfig:
     per-trace problem cache, which only exists so benchmarks can
     measure the legacy rebuild-per-scheme behaviour.
 
-    ``shard`` selects distributed execution: a
-    :class:`~repro.eval.shard.ShardRecorder` restricts :func:`run_grid`
-    to the shard's contiguous trace-index range and captures each
-    executed unit's results in wire form, while a
-    :class:`~repro.eval.shard.ShardReplayer` skips execution entirely
+    ``shard`` selects distributed execution via a :class:`GridHook`: a
+    record-side hook (:class:`~repro.eval.shard.ShardRecorder`, or the
+    fleet's :class:`~repro.eval.units.SingleUnitRecorder`) restricts
+    :func:`run_grid` to its trace-index range and captures each
+    executed unit's results in wire form, while the replay-side
+    :class:`~repro.eval.units.UnitReplayer` skips execution entirely
     and folds previously recorded results through the same streaming
     accumulators.  ``None`` (the default) runs everything locally.
     """

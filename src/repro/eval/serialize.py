@@ -13,6 +13,14 @@ run would have produced.  This module is that codec.  It covers
 
 Design rules:
 
+* **Versioned payloads.** Every top-level payload (``TraceResult``,
+  ``EvalSummary``, shard documents, broker unit results) carries the
+  wire schema version in a ``"v"`` field; decoders reject a mismatched
+  version with a clear :class:`ExperimentError` so a fleet worker on a
+  stale checkout fails loudly instead of merging garbage.  A missing
+  field is tolerated (hand-built payloads from the same process), a
+  *wrong* one never is.  Bump :data:`SCHEMA_VERSION` whenever any wire
+  layout in this module changes.
 * **Bit-identical floats.** Values pass through JSON's ``repr``-based
   float formatting, which round-trips IEEE-754 doubles exactly, so a
   merged shard run reproduces a serial run's metrics bit for bit.
@@ -37,6 +45,29 @@ from ..errors import ExperimentError
 from ..types import Prediction
 from .harness import EvalSummary, TraceResult
 from .metrics import AggregateMetrics, TraceMetrics
+
+#: Wire schema version.  Emitted in every top-level payload this module
+#: (and the shard/broker layers on top of it) produces; checked on
+#: decode.  Bump on any change to the wire layouts below.
+SCHEMA_VERSION = 2
+
+
+def check_schema_version(payload, what: str) -> None:
+    """Reject a payload produced by a different wire schema version.
+
+    A payload without a ``"v"`` field passes (legacy or hand-built
+    input); one carrying the wrong version is from a checkout speaking
+    a different codec and must not be decoded field by field.
+    """
+    if not isinstance(payload, dict):
+        return
+    version = payload.get("v")
+    if version is not None and version != SCHEMA_VERSION:
+        raise ExperimentError(
+            f"{what} payload speaks wire schema v{version!r} but this "
+            f"checkout speaks v{SCHEMA_VERSION}; producer and consumer "
+            "must run matching checkouts"
+        )
 
 
 def _require(payload, keys, what: str) -> None:
@@ -129,6 +160,7 @@ def trace_result_to_wire(result: TraceResult) -> Dict:
     ``result.problem`` is intentionally dropped (see module docstring).
     """
     return {
+        "v": SCHEMA_VERSION,
         "p": prediction_to_wire(result.prediction),
         "m": trace_metrics_to_wire(result.metrics),
         "b": float(result.build_seconds),
@@ -137,6 +169,7 @@ def trace_result_to_wire(result: TraceResult) -> Dict:
 
 
 def trace_result_from_wire(payload) -> TraceResult:
+    check_schema_version(payload, "TraceResult")
     _require(payload, ("p", "m", "b", "i"), "TraceResult")
     return TraceResult(
         prediction=prediction_from_wire(payload["p"]),
@@ -171,6 +204,7 @@ def aggregate_metrics_from_wire(payload) -> AggregateMetrics:
 def eval_summary_to_wire(summary: EvalSummary) -> Dict:
     """``EvalSummary -> {"label", "t": per-trace, "a": accuracy, ...}``."""
     return {
+        "v": SCHEMA_VERSION,
         "label": summary.setup_label,
         "t": [trace_result_to_wire(r) for r in summary.per_trace],
         "a": aggregate_metrics_to_wire(summary.accuracy),
@@ -180,6 +214,7 @@ def eval_summary_to_wire(summary: EvalSummary) -> Dict:
 
 
 def eval_summary_from_wire(payload) -> EvalSummary:
+    check_schema_version(payload, "EvalSummary")
     _require(payload, ("label", "t", "a", "mi", "mb"), "EvalSummary")
     if not isinstance(payload["label"], str):
         raise ExperimentError(

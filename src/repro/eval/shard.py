@@ -1,15 +1,18 @@
-"""Shard a trace batch across workers, processes, or machines.
+"""Static sharding: contiguous index-range adapters over the work-unit layer.
 
-A *shard* is a contiguous range of trace indices.  Each shard executes
-its range through the unchanged :func:`~repro.eval.runner.run_grid`
-machinery and keeps only wire-format results (the
-:mod:`repro.eval.serialize` codec; ``TraceResult.problem`` never goes on
-the wire).  A merge then replays every shard's recorded units through
-the same streaming ``_SummaryAccumulator`` fold that merges per-trace
-units in a local run, so serial, sharded-in-process, and
-sharded-subprocess executions produce bit-identical
+A *shard* is a contiguous range of trace indices.  Sharding is the
+static scheduling policy over :mod:`repro.eval.units`: a
+:class:`ShardRecorder` is a :class:`~repro.eval.units.UnitRecorder`
+whose unit for every grid call is its shard's
+:func:`shard_bounds` range, and the merge replays recorded units
+through the shared :class:`~repro.eval.units.UnitReplayer` - the same
+streaming ``_SummaryAccumulator`` fold that merges per-trace units in a
+local run.  Serial, sharded-in-process, sharded-subprocess, and
+fleet-brokered executions therefore all produce bit-identical
 :class:`~repro.eval.harness.EvalSummary` metrics for fixed seeds - in
-any shard count and any shard completion order.
+any shard/unit count and any completion order.  (The dynamic
+scheduling policy over the same layer - a SQLite queue of leased work
+units - lives in :mod:`repro.eval.broker` / :mod:`repro.eval.fleet`.)
 
 Three layers:
 
@@ -48,7 +51,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 from .runner import RunnerConfig, run_grid
-from .serialize import trace_result_from_wire, trace_result_to_wire
+from .serialize import SCHEMA_VERSION, check_schema_version
+from .units import UnitRecorder, UnitReplayer, check_call_coverage
 
 SHARD_FORMAT = "flock-shard-v1"
 
@@ -101,39 +105,30 @@ class ShardSpec:
         return shard_bounds(n_items, self.count)[self.index]
 
 
-class ShardRecorder:
+class ShardRecorder(UnitRecorder):
     """``RunnerConfig.shard`` hook for a shard *worker*.
 
-    Each ``run_grid`` call executes only this shard's index range and
-    records every executed unit's per-setup results in wire form,
-    grouped per call so a replayer can line them back up with the same
-    call sequence.
+    The static-policy :class:`~repro.eval.units.UnitRecorder`: every
+    grid call's executed unit is this shard's balanced contiguous range
+    of the call's traces.  Each call's executed units are recorded in
+    wire form so a replayer can line them back up with the same call
+    sequence.
     """
 
-    is_replay = False
-
     def __init__(self, spec: ShardSpec):
+        super().__init__()
         self.spec = spec
-        self.calls: List[Dict] = []
 
-    def select_call(self, labels: Sequence[str], n_traces: int) -> range:
-        """Open a new grid-call record; return the indices to execute."""
-        self.calls.append(
-            {"labels": list(labels), "n_traces": n_traces, "units": []}
-        )
-        start, stop = self.spec.bounds(n_traces)
-        return range(start, stop)
-
-    def record(self, trace_idx: int, results: Sequence) -> None:
-        """Serialize one executed unit into the open call record."""
-        self.calls[-1]["units"].append(
-            [trace_idx, [trace_result_to_wire(r) for r in results]]
-        )
+    def call_range(
+        self, call_index: int, labels: Sequence[str], n_traces: int
+    ) -> Tuple[int, int]:
+        return self.spec.bounds(n_traces)
 
     def payload(self, **meta) -> Dict:
         """The shard's complete output as a JSON-compatible document."""
         return {
             "format": SHARD_FORMAT,
+            "v": SCHEMA_VERSION,
             "shard_index": self.spec.index,
             "n_shards": self.spec.count,
             "calls": self.calls,
@@ -141,65 +136,18 @@ class ShardRecorder:
         }
 
 
-class ShardReplayer:
-    """``RunnerConfig.shard`` hook for the *merge*.
-
-    Feeds merged recorded units back into ``run_grid`` call by call;
-    nothing is executed.  Each replayed call is validated against the
-    live grid's shape (setup labels and trace count) so a shard file
-    from a different experiment, preset, or seed cannot be merged
-    silently.
-    """
-
-    is_replay = True
-
-    def __init__(self, calls: Sequence[Dict]):
-        self._calls = list(calls)
-        self._cursor = 0
-
-    def replay_call(self, labels: Sequence[str], n_traces: int):
-        """Results for the next grid call: ``[(trace_idx, [TraceResult])]``."""
-        if self._cursor >= len(self._calls):
-            raise ExperimentError(
-                "shard replay exhausted: the experiment issued more grid "
-                "calls than the shard files recorded"
-            )
-        call = self._calls[self._cursor]
-        self._cursor += 1
-        if call["labels"] != list(labels) or call["n_traces"] != n_traces:
-            raise ExperimentError(
-                f"shard replay mismatch at call {self._cursor - 1}: recorded "
-                f"({call['labels']}, {call['n_traces']} traces) vs live "
-                f"({list(labels)}, {n_traces} traces)"
-            )
-        return [
-            (idx, [trace_result_from_wire(w) for w in wires])
-            for idx, wires in call["units"]
-        ]
-
-    def assert_exhausted(self) -> None:
-        """Require that every recorded grid call was replayed.
-
-        A driver that issues fewer grid calls than the shards recorded
-        (e.g. the experiment was edited between recording and merging)
-        would otherwise silently drop the tail calls and report a
-        complete-looking but partial result.
-        """
-        if self._cursor != len(self._calls):
-            raise ExperimentError(
-                f"shard replay incomplete: the shard files recorded "
-                f"{len(self._calls)} grid call(s) but only {self._cursor} "
-                "were replayed; the experiment driver no longer matches "
-                "the one the shards ran"
-            )
+#: The merge-side hook is the shared work-unit replayer; the name stays
+#: for the shard layer's public API (CLI, tests, downstream scripts).
+ShardReplayer = UnitReplayer
 
 
 def _validate_payload_shape(payload) -> None:
     """Structural validation of one shard document.
 
-    Shard files come from other machines; a truncated write or hand
-    edit must surface as :class:`ExperimentError`, never as a raw
-    ``TypeError``/``KeyError`` from deep inside the merge.
+    Shard files come from other machines; a truncated write, a stale
+    checkout's wire format, or a hand edit must surface as
+    :class:`ExperimentError`, never as a raw ``TypeError``/``KeyError``
+    from deep inside the merge.
     """
     if not isinstance(payload, dict):
         raise ExperimentError(
@@ -209,6 +157,7 @@ def _validate_payload_shape(payload) -> None:
         raise ExperimentError(
             f"not a {SHARD_FORMAT} document: format={payload.get('format')!r}"
         )
+    check_schema_version(payload, "shard")
     if not isinstance(payload.get("shard_index"), int):
         raise ExperimentError(
             f"shard file has invalid shard_index: {payload.get('shard_index')!r}"
@@ -296,12 +245,7 @@ def merge_payloads(payloads: Sequence[Dict]) -> Tuple[List[Dict], Dict]:
             (unit for call in calls for unit in call["units"]),
             key=lambda unit: unit[0],
         )
-        covered = [unit[0] for unit in units]
-        if covered != list(range(n_traces)):
-            raise ExperimentError(
-                f"grid call {call_idx} has incomplete shard coverage: "
-                f"expected traces 0..{n_traces - 1}, got {covered}"
-            )
+        check_call_coverage(call_idx, n_traces, units, "shard")
         total_units += len(units)
         merged.append({"labels": labels, "n_traces": n_traces, "units": units})
     if merged and total_units == 0:
@@ -313,7 +257,8 @@ def merge_payloads(payloads: Sequence[Dict]) -> Tuple[List[Dict], Dict]:
 
 
 def _run_shard_payload(setups, traces, spec: ShardSpec, config: RunnerConfig):
-    """Execute one shard and return its wire payload (pool-friendly)."""
+    """Execute one shard's contiguous-range units; return its wire payload
+    (pool-friendly)."""
     recorder = ShardRecorder(spec)
     run_grid(setups, traces, replace(config, shard=recorder))
     return recorder.payload()
@@ -328,11 +273,13 @@ def run_sharded(
 ) -> Dict[str, object]:
     """Evaluate a grid by splitting its traces into ``n_shards`` shards.
 
-    Each shard runs through :func:`run_grid` under ``config`` (executor,
-    jobs, cache all apply *within* a shard); ``shard_jobs > 1``
-    additionally runs shards concurrently, each in its own OS process,
-    with only serialized results crossing back.  The merged summaries
-    are bit-identical to ``run_grid(setups, traces, config)``.
+    The broker-less in-process path over the work-unit layer: each
+    shard's contiguous-range units execute through :func:`run_grid`
+    under ``config`` (executor, jobs, cache all apply *within* a
+    shard); ``shard_jobs > 1`` additionally runs shards concurrently,
+    each in its own OS process, with only serialized results crossing
+    back.  The merged summaries are bit-identical to
+    ``run_grid(setups, traces, config)``.
     """
     config = config or RunnerConfig()
     if config.shard is not None:

@@ -367,32 +367,66 @@ def build_point_traces(topology, routing, point: GridPoint) -> List[Trace]:
 def run_spec(
     spec: ExperimentSpec,
     runner: Optional[RunnerConfig] = None,
+    point_cache: Optional[Dict[int, Tuple]] = None,
 ) -> ExperimentResult:
     """Evaluate a declarative spec point by point.
 
     Scheme points issue exactly one :func:`~repro.eval.runner.run_grid`
-    call each, in spec order, so a :class:`~repro.eval.shard.ShardRecorder`
-    or :class:`~repro.eval.shard.ShardReplayer` installed on ``runner``
-    sees a call sequence that is a pure function of the spec.  Probe
-    points execute locally and never touch the runner.
+    call each, in spec order, so a grid hook
+    (:class:`~repro.eval.runner.GridHook`) installed on ``runner`` sees
+    a call sequence that is a pure function of the spec.  Probe points
+    execute locally and never touch the runner.
+
+    The unit boundary: when a record-side hook is installed, each
+    scheme point's trace generation is gated on the hook's
+    ``plan_call`` peek - a point none of whose traces will execute
+    (e.g. a fleet worker's unit lives in a different grid call) skips
+    topology build and trace generation entirely, and probe points are
+    skipped outright (their rows are recomputed by the merge/collect
+    side, which replays recorded units and *does* run probes).  Both
+    sides keep the grid-call sequence identical to a local run, so
+    recorded units always line up.
+
+    ``point_cache`` (mutable, keyed by point index) carries built
+    ``(topology, routing, traces)`` triples across repeated
+    ``run_spec`` invocations of the *same spec object* - fleet workers
+    executing many units of one experiment pay trace generation once
+    per point instead of once per unit.  Trace construction is a pure
+    function of the spec, so reuse cannot change results.
     """
     config = runner
     if not spec.cache:
         config = replace(runner if runner is not None else RunnerConfig(), cache=False)
+    hook = config.shard if config is not None else None
+    recording = hook is not None and not hook.is_replay
     result = ExperimentResult(
         experiment=spec.name, description=spec.description, notes=spec.notes
     )
-    for point in spec.points:
+
+    def built_point(index: int, point: GridPoint) -> Tuple:
+        if point_cache is not None and index in point_cache:
+            return point_cache[index]
         topology = point.topology.build()
         routing = EcmpRouting(topology)
         traces = build_point_traces(topology, routing, point)
+        if point_cache is not None:
+            point_cache[index] = (topology, routing, traces)
+        return topology, routing, traces
+
+    for index, point in enumerate(spec.points):
         if point.probe is not None:
+            if recording:
+                # A record-side worker only contributes grid-call
+                # results; probe rows would be discarded with the rest
+                # of its partial ExperimentResult.
+                continue
             probe = _PROBES.get(point.probe.name)
             if probe is None:
                 raise ExperimentError(
                     f"unknown probe {point.probe.name!r}; registered probes: "
                     f"{', '.join(sorted(_PROBES))}"
                 )
+            topology, routing, traces = built_point(index, point)
             context = ProbeContext(
                 topology=topology,
                 routing=routing,
@@ -403,16 +437,31 @@ def run_spec(
                 result.rows.append({**point.key, **row})
             continue
         setups = [ref.setup() for ref in point.schemes]
+        labels = [setup.labeled() for setup in setups]
+        n_traces = len(point.trace.seeds)
+        planned = None
+        plan_call = getattr(hook, "plan_call", None)
+        if plan_call is not None:
+            planned = plan_call(labels, n_traces)
+        if planned is not None and len(planned) == 0 and point.extras is None:
+            # Unit boundary: nothing of this call executes here and no
+            # extras hook needs the traces - run_grid still sees the
+            # call (with placeholder slots) so the hook's call sequence
+            # stays aligned, but the workload is never generated.
+            topology = routing = None
+            traces: List = [None] * n_traces
+        else:
+            topology, routing, traces = built_point(index, point)
         summaries = evaluate_many(setups, traces, config)
         extras: Dict[str, object] = {}
         if point.extras is not None:
-            hook = _EXTRAS.get(point.extras)
-            if hook is None:
+            hook_fn = _EXTRAS.get(point.extras)
+            if hook_fn is None:
                 raise ExperimentError(
                     f"unknown extras hook {point.extras!r}; registered: "
                     f"{', '.join(sorted(_EXTRAS))}"
                 )
-            extras = hook(topology, routing, traces)
+            extras = hook_fn(topology, routing, traces)
         for ref, setup in zip(point.schemes, setups):
             summary = summaries[setup.labeled()]
             row: Dict[str, object] = dict(point.key)
