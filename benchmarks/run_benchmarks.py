@@ -31,16 +31,32 @@ Benchmarks
   shared PathSpace - i.e. the reported speedup is conservative
   relative to the pre-columnar per-record implementation.
 * ``simulate_columnar`` - trace generation alone (specs + simulator).
+* ``simulate_columnar_vec`` - the same trace generation with the
+  vectorized RNG mode (``rng_mode="vectorized"``).
 * ``kernel_delta_vector`` / ``kernel_delta_reference`` - JLE delta-array
   construction, vectorized vs reference engine.
+* ``kernel_delta_collapsed`` / ``kernel_delta_numba`` - the same Δ
+  build through the collapsed-row kernel backends (numba arm only when
+  numba is importable).
 * ``kernel_flip_vector`` - one JLE flip pair on the vector state.
 * ``localize_greedy_fast`` - full Flock greedy+JLE localization.
+* ``localize_greedy_collapsed`` / ``localize_greedy_numba`` - the same
+  localization through the collapsed / compiled kernel backends.
 * ``localize_gibbs`` - Gibbs sampling localization.
 
-The ``derived.trace_build_speedup`` field is the headline number:
-object mean / columnar mean.  A warmup round precedes timing so the
-shared-interning steady state (what experiments actually run in) is
-what gets measured; the warmup's cold time is recorded separately.
+``derived`` carries the headline ratios: ``trace_build_speedup``
+(object mean / columnar mean), ``kernel_delta_collapse_speedup`` and
+``localize_greedy_collapse_speedup`` (numpy mean / collapsed mean),
+``simulate_rng_speedup`` (grouped mean / vectorized mean), plus numba
+variants when measured.
+
+Timing semantics (also recorded in the artifact under ``timing``):
+each benchmark runs one untimed-for-the-mean *cold* call first (its
+wall time is reported as ``cold_s``), then ``repeats`` *warm* calls
+whose mean/stddev are reported.  ``cold_s`` may exceed ``mean_s`` —
+that is the warmup cost (interning, JIT compilation), not noise — and
+``stddev_s`` is null when ``repeats == 1`` (a single sample has no
+spread).
 """
 
 from __future__ import annotations
@@ -155,10 +171,20 @@ def _timed(fn, repeats: int, warmup: int = 1):
     return times, cold
 
 
+#: Explicit warm/cold semantics, embedded in every artifact so a reader
+#: of BENCH_*.json does not need the runner source to interpret it.
+TIMING_SEMANTICS = {
+    "mean_s": "mean over the warm repeats (after one untimed warmup call)",
+    "stddev_s": "sample stddev over warm repeats; null when repeats == 1",
+    "cold_s": "wall time of the first (cold) call: interning and JIT "
+              "warmup included, so cold_s may exceed mean_s",
+}
+
+
 def _stats(times, cold=None):
     entry = {
         "mean_s": statistics.fmean(times),
-        "stddev_s": statistics.stdev(times) if len(times) > 1 else 0.0,
+        "stddev_s": statistics.stdev(times) if len(times) > 1 else None,
         "repeats": len(times),
     }
     if cold:
@@ -171,6 +197,7 @@ def build_benchmarks(preset: str, base_seed: int):
     from repro.core.flock_fast import VectorJleState
     from repro.core.gibbs import GibbsInference
     from repro.core.jle import JleState
+    from repro.core.kernels import backend_available
     from repro.core.params import DEFAULT_PER_PACKET
     from repro.core.problem import InferenceProblem
     from repro.eval.experiments import standard_topology
@@ -239,11 +266,23 @@ def build_benchmarks(preset: str, base_seed: int):
             n_passive=n_passive, n_probes=n_probes,
         )
 
+    def simulate_columnar_vec(i):
+        return make_trace(
+            topo, routing, scenario, seed=base_seed + 1000 + i,
+            n_passive=n_passive, n_probes=n_probes,
+            rng_mode="vectorized",
+        )
+
     # A fixed mid-size problem for the kernel micro-benchmarks.
     kernel_problem = trace_build_columnar(10_000)
 
     def kernel_delta_vector(i):
         return VectorJleState(kernel_problem, DEFAULT_PER_PACKET)
+
+    def kernel_delta_collapsed(i):
+        return VectorJleState(
+            kernel_problem, DEFAULT_PER_PACKET, kernel_backend="collapsed"
+        )
 
     def kernel_delta_reference(i):
         return JleState(kernel_problem, DEFAULT_PER_PACKET)
@@ -253,9 +292,19 @@ def build_benchmarks(preset: str, base_seed: int):
         "trace_build_columnar": trace_build_columnar,
         "trace_build_object": trace_build_object,
         "simulate_columnar": simulate_columnar,
+        "simulate_columnar_vec": simulate_columnar_vec,
         "kernel_delta_vector": kernel_delta_vector,
+        "kernel_delta_collapsed": kernel_delta_collapsed,
         "kernel_delta_reference": kernel_delta_reference,
     }
+
+    if backend_available("numba"):
+        def kernel_delta_numba(i):
+            return VectorJleState(
+                kernel_problem, DEFAULT_PER_PACKET, kernel_backend="numba"
+            )
+
+        benches["kernel_delta_numba"] = kernel_delta_numba
 
     if "kernel_flip_vector" not in skips:
         vector_state = VectorJleState(kernel_problem, DEFAULT_PER_PACKET)
@@ -268,16 +317,30 @@ def build_benchmarks(preset: str, base_seed: int):
         benches["kernel_flip_vector"] = kernel_flip_vector
 
     greedy = build_localizer("flock")
+    greedy_collapsed = build_localizer("flock", kernel_backend="collapsed")
     gibbs = GibbsInference(DEFAULT_PER_PACKET, sweeps=12, burn_in=4, seed=0)
 
     def localize_greedy_fast(i):
         return greedy.localize(kernel_problem)
 
+    def localize_greedy_collapsed(i):
+        return greedy_collapsed.localize(kernel_problem)
+
     def localize_gibbs(i):
         return gibbs.localize(kernel_problem)
 
     benches["localize_greedy_fast"] = localize_greedy_fast
+    benches["localize_greedy_collapsed"] = localize_greedy_collapsed
     benches["localize_gibbs"] = localize_gibbs
+
+    if backend_available("numba"):
+        greedy_numba = build_localizer("flock", kernel_backend="numba")
+
+        def localize_greedy_numba(i):
+            return greedy_numba.localize(kernel_problem)
+
+        benches["localize_greedy_numba"] = localize_greedy_numba
+
     return {name: fn for name, fn in benches.items() if name not in skips}
 
 
@@ -360,8 +423,10 @@ def main() -> int:
     for name, fn in benches.items():
         times, cold = _timed(fn, args.repeats)
         results[name] = _stats(times, cold)
+        stddev = results[name]["stddev_s"]
+        stddev_txt = "n/a" if stddev is None else f"{stddev:.4f}"
         print(f"{name:26s} mean {results[name]['mean_s']:8.4f}s "
-              f"(stddev {results[name]['stddev_s']:.4f}, "
+              f"(stddev {stddev_txt}, "
               f"cold {results[name]['cold_s']:.4f})")
 
     if baseline is not None:
@@ -383,11 +448,28 @@ def main() -> int:
         return 0
 
     derived = {}
-    obj = results.get("trace_build_object", {}).get("mean_s")
-    col = results.get("trace_build_columnar", {}).get("mean_s")
-    if obj and col:
-        derived["trace_build_speedup"] = obj / col
-        print(f"trace build speedup (object/columnar): {obj / col:.2f}x")
+
+    def _speedup(key, slow_name, fast_name, caption):
+        slow = results.get(slow_name, {}).get("mean_s")
+        fast = results.get(fast_name, {}).get("mean_s")
+        if slow and fast:
+            derived[key] = slow / fast
+            print(f"{caption}: {slow / fast:.2f}x")
+
+    _speedup("trace_build_speedup", "trace_build_object",
+             "trace_build_columnar", "trace build speedup (object/columnar)")
+    _speedup("kernel_delta_collapse_speedup", "kernel_delta_vector",
+             "kernel_delta_collapsed", "delta build speedup (numpy/collapsed)")
+    _speedup("kernel_delta_numba_speedup", "kernel_delta_vector",
+             "kernel_delta_numba", "delta build speedup (numpy/numba)")
+    _speedup("localize_greedy_collapse_speedup", "localize_greedy_fast",
+             "localize_greedy_collapsed",
+             "greedy localize speedup (numpy/collapsed)")
+    _speedup("localize_greedy_numba_speedup", "localize_greedy_fast",
+             "localize_greedy_numba", "greedy localize speedup (numpy/numba)")
+    _speedup("simulate_rng_speedup", "simulate_columnar",
+             "simulate_columnar_vec",
+             "simulate speedup (grouped/vectorized rng)")
 
     label = args.label or args.preset
     payload = {
@@ -396,6 +478,7 @@ def main() -> int:
         "machine": machine_fingerprint(),
         "preset": args.preset,
         "repeats": args.repeats,
+        "timing": TIMING_SEMANTICS,
         "benchmarks": results,
         "derived": derived,
     }

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..errors import InferenceError
 from ..types import Prediction
+from ..core.kernels import resolve_backend
 from ..core.flock_fast import (
     VectorArrays,
     VectorJleState,
@@ -70,6 +71,7 @@ class SherlockFerret:
         use_jle: bool = False,
         engine: str = "fast",
         candidates: Optional[Sequence[int]] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if max_failures < 1:
             raise InferenceError("max_failures must be >= 1")
@@ -80,6 +82,9 @@ class SherlockFerret:
         self._use_jle = use_jle
         self._engine = engine
         self._candidates = tuple(candidates) if candidates is not None else None
+        if kernel_backend is not None:
+            resolve_backend(kernel_backend)
+        self._kernel_backend = kernel_backend
 
     def _candidate_list(self, problem: InferenceProblem) -> Tuple[int, ...]:
         if self._candidates is not None:
@@ -101,7 +106,7 @@ class SherlockFerret:
         self, problem: InferenceProblem, candidates: Tuple[int, ...]
     ) -> Prediction:
         if self._engine == "fast":
-            arrays = VectorArrays(problem, self._params)
+            arrays = VectorArrays(problem, self._params, self._kernel_backend)
             price = arrays.hypothesis_ll
         else:
             model = LikelihoodModel(problem, self._params)
@@ -129,7 +134,7 @@ class SherlockFerret:
         self, problem: InferenceProblem, candidates: Tuple[int, ...]
     ) -> Prediction:
         if self._engine == "fast":
-            state = VectorJleState(problem, self._params)
+            state = VectorJleState(problem, self._params, self._kernel_backend)
         else:
             state = JleState(problem, self._params)
         cand = np.asarray(candidates, dtype=np.int64)

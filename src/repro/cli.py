@@ -65,6 +65,7 @@ from __future__ import annotations
 import argparse
 import ast
 import json
+import os
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -123,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="parallel workers for scheme evaluation (default: serial)",
+    )
+    run.add_argument(
+        "--kernel-backend", default=None, metavar="NAME",
+        help="localization kernel backend (numpy, collapsed, numba); "
+             "default: $REPRO_KERNEL_BACKEND or numpy",
     )
     run.add_argument(
         "--executor", choices=EXECUTORS, default=None,
@@ -213,6 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=EXECUTORS, default=None,
         help="execution backend; defaults to 'process' when --jobs > 1",
     )
+    fwork.add_argument(
+        "--kernel-backend", default=None, metavar="NAME",
+        help="localization kernel backend (numpy, collapsed, numba)",
+    )
 
     fstatus = fsub.add_parser(
         "status", help="show a broker's unit-lifecycle counts"
@@ -221,6 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
     fstatus.add_argument(
         "--units", action="store_true", help="also list every unit's row"
     )
+
+    fretry = fsub.add_parser(
+        "retry", help="re-queue permanently-failed units after a fix"
+    )
+    fretry.add_argument("broker", help="path to an existing broker database")
 
     fcollect = fsub.add_parser(
         "collect", help="fold a finished fleet into the experiment result"
@@ -280,7 +295,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-warm", action="store_true",
         help="cold-localize every cycle instead of warm-starting",
     )
+    stream.add_argument(
+        "--kernel-backend", default=None, metavar="NAME",
+        help="localization kernel backend (numpy, collapsed, numba)",
+    )
     return parser
+
+
+def _apply_kernel_backend(args) -> None:
+    """Export ``--kernel-backend`` for this process and its workers.
+
+    The engines resolve their backend per state from the
+    ``REPRO_KERNEL_BACKEND`` environment variable (explicit constructor
+    args win), so one env export covers serial runs, thread/process
+    executors, and fleet workers alike.  Unknown or unavailable
+    backends fail here, before any work starts.
+    """
+    name = getattr(args, "kernel_backend", None)
+    if name is None:
+        return
+    from .core import kernels
+
+    if name not in kernels.backend_names():
+        raise ExperimentError(
+            f"unknown kernel backend {name!r}; registered: "
+            + ", ".join(kernels.backend_names())
+        )
+    kernels.resolve_backend(name)
+    os.environ[kernels.ENV_VAR] = name
 
 
 def parse_overrides(pairs: List[str]) -> Dict[str, object]:
@@ -473,6 +515,18 @@ def _fleet(args) -> int:
             f"{total} unit(s): "
             + ", ".join(f"{v} {k}" for k, v in counts.items())
         )
+        progress = state["progress"]
+        if progress["total"]:
+            pct = 100.0 * progress["done"] / progress["total"]
+            line = (
+                f"progress {progress['done']}/{progress['total']} "
+                f"unit(s) ({pct:.0f}%)"
+            )
+            if progress["rate_per_s"] is not None:
+                line += f", {progress['rate_per_s']:.2f} unit/s"
+                if progress["remaining"]:
+                    line += f", ETA ~{progress['eta_s']:.0f}s"
+            print(line)
         for unit_id, error in state["errors"]:
             print(f"  unit {unit_id} failed: {error}")
         if args.units:
@@ -483,6 +537,10 @@ def _fleet(args) -> int:
                     f"[{row['start']}, {row['stop']}) {row['status']} "
                     f"attempts={row['attempts']}{holder}"
                 )
+        return 0
+    if args.fleet_command == "retry":
+        requeued = fleet.retry(args.broker)
+        print(f"re-queued {requeued} failed unit(s)")
         return 0
     if args.fleet_command == "collect":
         result = fleet.collect(args.broker)
@@ -609,6 +667,7 @@ def main(argv=None) -> int:
 
 def _main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_kernel_backend(args)
     if args.command == "dataset":
         from .eval.dataset import generate_suite
 

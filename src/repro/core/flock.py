@@ -29,6 +29,7 @@ import numpy as np
 from ..errors import InferenceError
 from ..types import Prediction
 from .jle import JleState
+from .kernels import resolve_backend
 from .params import DEFAULT_PER_PACKET, FlockParams
 from .problem import InferenceProblem
 
@@ -61,15 +62,20 @@ class FlockInference:
         engine: str = "fast",
         max_failures: Optional[int] = None,
         min_gain: float = 0.0,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if engine not in _ENGINES:
             raise InferenceError(f"engine must be one of {_ENGINES}, got {engine!r}")
         if max_failures is not None and max_failures < 0:
             raise InferenceError("max_failures must be non-negative")
+        if kernel_backend is not None:
+            # Fail fast on unknown/unavailable backends, not per trace.
+            resolve_backend(kernel_backend)
         self._params = params
         self._engine = engine
         self._max_failures = max_failures
         self._min_gain = min_gain
+        self._kernel_backend = kernel_backend
 
     @property
     def params(self) -> FlockParams:
@@ -80,7 +86,7 @@ class FlockInference:
             return JleState(problem, self._params)
         from .flock_fast import VectorJleState
 
-        return VectorJleState(problem, self._params)
+        return VectorJleState(problem, self._params, self._kernel_backend)
 
     def localize(
         self,

@@ -26,11 +26,14 @@ test."""
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..errors import InferenceError
 from ..types import Prediction
 from .flock_fast import VectorJleState
+from .kernels import resolve_backend
 from .params import DEFAULT_PER_PACKET, FlockParams
 from .problem import InferenceProblem
 
@@ -67,6 +70,7 @@ class GibbsInference:
         threshold: float = 0.5,
         seed: int = 0,
         batch_sweeps: bool = True,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if sweeps <= burn_in:
             raise InferenceError("sweeps must exceed burn_in")
@@ -78,6 +82,9 @@ class GibbsInference:
         self._threshold = threshold
         self._seed = seed
         self._batch_sweeps = batch_sweeps
+        if kernel_backend is not None:
+            resolve_backend(kernel_backend)
+        self._kernel_backend = kernel_backend
 
     @property
     def params(self) -> FlockParams:
@@ -99,7 +106,7 @@ class GibbsInference:
         """
         rng = np.random.default_rng(self._seed)
         if initial_state is None:
-            state = VectorJleState(problem, self._params)
+            state = VectorJleState(problem, self._params, self._kernel_backend)
         else:
             if initial_state.problem is not problem:
                 raise InferenceError(

@@ -438,6 +438,35 @@ class Broker:
             raise
         return new_status
 
+    def retry_failed(self) -> int:
+        """Re-queue permanently-failed units after a fix.
+
+        Failed units go back to ``pending`` with their attempt budget
+        and error reset, so the ordinary lease lifecycle (and its
+        bounded retries) applies afresh.  Returns how many units were
+        re-queued.  Completed work is untouched - a failed unit never
+        has a results row.
+        """
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            failed = [
+                unit_id
+                for (unit_id,) in self._conn.execute(
+                    "SELECT id FROM units WHERE status = 'failed' ORDER BY id"
+                )
+            ]
+            self._conn.executemany(
+                "UPDATE units SET status = 'pending', attempts = 0, "
+                "worker = NULL, lease_expires = NULL, error = NULL "
+                "WHERE id = ?",
+                [(unit_id,) for unit_id in failed],
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return len(failed)
+
     # -- introspection -------------------------------------------------
 
     def counts(self) -> FleetCounts:
@@ -476,6 +505,15 @@ class Broker:
             (unit_id, error)
             for unit_id, error in self._conn.execute(
                 "SELECT id, error FROM units WHERE status = 'failed' ORDER BY id"
+            )
+        ]
+
+    def completion_times(self) -> List[float]:
+        """Ascending wall-clock completion times of done units."""
+        return [
+            t
+            for (t,) in self._conn.execute(
+                "SELECT completed_at FROM results ORDER BY completed_at"
             )
         ]
 

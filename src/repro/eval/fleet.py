@@ -229,17 +229,53 @@ def work(
     )
 
 
+#: Completions the rolling unit-rate window looks back over.
+PROGRESS_WINDOW = 20
+
+
+def _progress(counts: FleetCounts, completion_times) -> Dict[str, object]:
+    """Progress summary: done/total plus a rolling rate and ETA.
+
+    The rate is measured over the last :data:`PROGRESS_WINDOW`
+    completions (their own wall-clock span, so an idle fleet reports
+    its historical rate rather than decaying toward zero), and the ETA
+    covers the units that can still finish - pending and leased;
+    permanently-failed units need ``fleet retry`` first.
+    """
+    out: Dict[str, object] = {
+        "done": counts.done,
+        "total": counts.total,
+        "remaining": counts.pending + counts.leased,
+        "rate_per_s": None,
+        "eta_s": None,
+    }
+    window = completion_times[-PROGRESS_WINDOW:]
+    if len(window) >= 2 and window[-1] > window[0]:
+        rate = (len(window) - 1) / (window[-1] - window[0])
+        out["rate_per_s"] = rate
+        out["eta_s"] = out["remaining"] / rate
+    return out
+
+
 def status(broker_path, detail: bool = False) -> Dict[str, object]:
-    """A broker's live state: experiment meta, counts, optional unit rows."""
+    """A broker's live state: meta, counts, progress/ETA, unit rows."""
     with Broker.open(broker_path) as broker:
+        counts = broker.counts()
         out: Dict[str, object] = {
             **broker.experiment_meta(),
-            "counts": broker.counts().as_dict(),
+            "counts": counts.as_dict(),
+            "progress": _progress(counts, broker.completion_times()),
             "errors": broker.errors(),
         }
         if detail:
             out["units"] = broker.unit_rows()
         return out
+
+
+def retry(broker_path) -> int:
+    """Re-queue a broker's permanently-failed units; returns the count."""
+    with Broker.open(broker_path) as broker:
+        return broker.retry_failed()
 
 
 def collect(

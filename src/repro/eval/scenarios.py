@@ -103,6 +103,7 @@ def make_trace(
     traffic: str = UNIFORM,
     packets_per_probe: int = 40,
     mean_flow_bytes: float = 200_000.0,
+    rng_mode: str = "grouped",
 ) -> Trace:
     """Inject a scenario, generate traffic and probes, and simulate.
 
@@ -133,7 +134,7 @@ def make_trace(
         )
     specs = SpecBatch.concat(batches) if batches else SpecBatch.empty(space)
     simulator = FlowLevelSimulator(topology)
-    batch = simulator.simulate_batch(specs, injection, rng)
+    batch = simulator.simulate_batch(specs, injection, rng, rng_mode=rng_mode)
     return Trace(
         topology=topology,
         routing=routing,

@@ -48,6 +48,7 @@ class FlowLevelSimulator:
         specs: SpecBatch,
         injection: Injection,
         rng: np.random.Generator,
+        rng_mode: str = "grouped",
     ) -> FlowBatch:
         """Run a columnar spec batch and return a columnar trace.
 
@@ -56,7 +57,25 @@ class FlowLevelSimulator:
         group draws one vectorized ECMP choice and one vectorized
         binomial.  Path drop probabilities are computed once per
         distinct path id per injection.
+
+        ``rng_mode`` versions the RNG stream contract:
+
+        * ``"grouped"`` (default) draws per path-set group - the
+          historical, bit-identical stream every pinned trace depends
+          on.  At paper scale (~366K groups) the per-group generator
+          call overhead dominates trace generation.
+        * ``"vectorized"`` draws whole-batch: one uniform array prices
+          every ECMP choice and one binomial call prices every flow.
+          Group-rejection sampling (``Generator.integers``) and
+          variable-size binomial batching make this stream impossible
+          to reproduce group-wise, so it is a *different, versioned*
+          stream - deterministic per seed, same marginal distributions,
+          different draws.
         """
+        if rng_mode not in ("grouped", "vectorized"):
+            raise ValueError(
+                f"rng_mode must be 'grouped' or 'vectorized', got {rng_mode!r}"
+            )
         space = specs.space
         plan = injection.plan
         n = len(specs)
@@ -64,7 +83,11 @@ class FlowLevelSimulator:
         bad = np.zeros(n, dtype=np.int64)
         chosen = np.zeros(n, dtype=np.int64)
 
-        if n:
+        if n and rng_mode == "vectorized":
+            bad, chosen = self._simulate_flows_vectorized(
+                specs, plan, rng
+            )
+        elif n:
             sids, order, offsets = _first_seen_groups(specs.path_set)
             surv_by_pid = _path_survivals(space, plan)
             rates = plan.rates
@@ -109,6 +132,92 @@ class FlowLevelSimulator:
             path_set=specs.path_set,
             chosen_path=chosen,
         )
+
+    def _simulate_flows_vectorized(
+        self,
+        specs: SpecBatch,
+        plan,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Whole-batch draws: (bad, chosen) for every flow at once.
+
+        All randomness collapses into two generator calls - one uniform
+        array for the ECMP choices and one vectorized binomial for the
+        drops - so the per-group Python loop that remains only gathers
+        group metadata and materializes the chosen member paths of
+        factored sets (interning work the grouped mode pays too).
+        """
+        space = specs.space
+        rates = plan.rates
+        surv_by_pid = _path_survivals(space, plan)
+        n = len(specs)
+        sids, gids = first_seen_ids(specs.path_set)
+        n_groups = len(sids)
+        sid_list = sids.tolist()
+        sizes = np.empty(n_groups, dtype=np.int64)
+        factored = np.zeros(n_groups, dtype=bool)
+        src_link = np.zeros(n_groups, dtype=np.int64)
+        dst_link = np.zeros(n_groups, dtype=np.int64)
+        switch_sid = np.zeros(n_groups, dtype=np.int64)
+        for g, sid in enumerate(sid_list):
+            sizes[g] = space.set_size(sid)
+            if space.set_is_factored(sid):
+                fset = space.set_factored(sid)
+                factored[g] = True
+                src_link[g] = fset.src_link
+                dst_link[g] = fset.dst_link
+                switch_sid[g] = fset.switch_sid
+
+        # One uniform per flow prices its ECMP choice: floor(u * k) is
+        # uniform over [0, k) (clipped against the u == 1.0 corner).
+        k = sizes[gids]
+        choice = np.minimum((rng.random(n) * k).astype(np.int64), k - 1)
+        p = np.empty(n)
+        chosen = np.empty(n, dtype=np.int64)
+        fac_f = factored[gids]
+        if np.any(fac_f):
+            # Factored flows: the chosen *middle* segment prices the
+            # drop; a CSR over the few unique switch sids gathers it.
+            usw = np.unique(switch_sid[factored])
+            sw_lists = [space.set_path_ids(int(s)) for s in usw]
+            sw_off = np.zeros(len(usw) + 1, dtype=np.int64)
+            np.cumsum([len(a) for a in sw_lists], out=sw_off[1:])
+            sw_flat = np.concatenate(sw_lists)
+            sw_rank = np.searchsorted(usw, switch_sid)
+            fg = gids[fac_f]
+            mid = sw_flat[sw_off[sw_rank[fg]] + choice[fac_f]]
+            p[fac_f] = 1.0 - (
+                (1.0 - rates[src_link[fg]])
+                * surv_by_pid[mid]
+                * (1.0 - rates[dst_link[fg]])
+            )
+        plain_f = ~fac_f
+        if np.any(plain_f):
+            plain_groups = np.nonzero(~factored)[0]
+            pl_lists = [space.set_path_ids(sid_list[g]) for g in plain_groups]
+            pl_off = np.zeros(len(pl_lists) + 1, dtype=np.int64)
+            np.cumsum([len(a) for a in pl_lists], out=pl_off[1:])
+            pl_flat = np.concatenate(pl_lists)
+            pl_rank = np.cumsum(~factored) - 1
+            pid_plain = pl_flat[
+                pl_off[pl_rank[gids[plain_f]]] + choice[plain_f]
+            ]
+            p[plain_f] = 1.0 - surv_by_pid[pid_plain]
+            chosen[plain_f] = pid_plain
+
+        bad = rng.binomial(specs.packets, p)
+
+        if np.any(fac_f):
+            # Factored chosen paths still intern lazily per group, but
+            # with every draw already made above.
+            order = np.argsort(gids, kind="stable")
+            counts = np.bincount(gids, minlength=n_groups)
+            offsets = np.zeros(n_groups + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            for g in np.nonzero(factored)[0].tolist():
+                idx = order[offsets[g]:offsets[g + 1]]
+                chosen[idx] = space.member_pids(sid_list[g], choice[idx])
+        return bad.astype(np.int64), chosen
 
     def simulate(
         self,

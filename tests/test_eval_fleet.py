@@ -245,6 +245,39 @@ class TestBroker:
             # A worker that lost its lease cannot fail the unit either.
             assert broker.fail(leased.unit_id, "other", "x", now=4.0) is None
 
+    def test_retry_failed_requeues(self, tmp_path):
+        with make_broker(tmp_path / "b.db", max_attempts=1) as broker:
+            leased = broker.claim("w0", now=0.0)
+            assert broker.fail(leased.unit_id, "w0", "boom", now=1.0) == "failed"
+            assert broker.counts().failed == 1
+            assert broker.retry_failed() == 1
+            counts = broker.counts()
+            assert counts.failed == 0 and counts.pending == 3
+            assert broker.errors() == []
+            # The re-queued unit leases again with a fresh attempt budget.
+            again = broker.claim("w1", now=2.0)
+            assert again.unit_id == leased.unit_id
+            assert again.attempt == 1
+            # Nothing failed -> nothing to retry; done work is untouched.
+            assert broker.retry_failed() == 0
+            assert broker.complete(
+                again.unit_id, "w1", {"v": SCHEMA_VERSION, "u": []}, now=3.0
+            )
+            assert broker.retry_failed() == 0
+            assert broker.counts().done == 1
+
+    def test_completion_times_ascending(self, tmp_path):
+        with make_broker(tmp_path / "b.db") as broker:
+            assert broker.completion_times() == []
+            stamps = (10.0, 12.5, 11.0)  # finish out of order
+            for now in stamps:
+                leased = broker.claim("w0", now=now)
+                assert broker.complete(
+                    leased.unit_id, "w0",
+                    {"v": SCHEMA_VERSION, "u": []}, now=now,
+                )
+            assert broker.completion_times() == sorted(stamps)
+
     def test_next_lease_expiry(self, tmp_path):
         with make_broker(tmp_path / "b.db", lease_seconds=10.0) as broker:
             assert broker.next_lease_expiry() is None
@@ -342,6 +375,59 @@ class TestFleetEvaluation:
         assert [row["status"] for row in state["units"]] == [
             "done", "done", "done", "pending",
         ]
+
+    def test_status_progress_and_eta(self, tmp_path):
+        path = tmp_path / "b.db"
+        fleet.submit(path, "fig2", preset="tiny", unit_traces=2)
+        progress = fleet.status(path)["progress"]
+        assert progress == {
+            "done": 0, "total": 4, "remaining": 4,
+            "rate_per_s": None, "eta_s": None,
+        }
+        fleet.work(path, worker_id="w0", max_units=3, wait=False)
+        progress = fleet.status(path)["progress"]
+        assert progress["done"] == 3
+        assert progress["remaining"] == 1
+        if progress["rate_per_s"] is not None:
+            assert progress["rate_per_s"] > 0
+            assert progress["eta_s"] == pytest.approx(
+                1 / progress["rate_per_s"]
+            )
+
+    def test_progress_rate_windowed(self):
+        from repro.eval.broker import FleetCounts
+
+        counts = FleetCounts(pending=4, leased=2, done=40, failed=0)
+        # Older completions (one per 100s) fall outside the window; the
+        # last PROGRESS_WINDOW completions arrive one per second.
+        times = [float(i) * 100 for i in range(20)]
+        times += [2000.0 + i for i in range(fleet.PROGRESS_WINDOW)]
+        progress = fleet._progress(counts, times)
+        assert progress["remaining"] == 6
+        assert progress["rate_per_s"] == pytest.approx(1.0)
+        assert progress["eta_s"] == pytest.approx(6.0)
+        # A single completion cannot produce a rate.
+        single = fleet._progress(counts, [5.0])
+        assert single["rate_per_s"] is None and single["eta_s"] is None
+
+    def test_fleet_retry_requeues_failed_units(self, tmp_path):
+        path = tmp_path / "b.db"
+        fleet.submit(
+            path, "fig2", preset="tiny", unit_traces=2, max_attempts=1
+        )
+        with Broker.open(path) as broker:
+            leased = broker.claim("w0")
+            assert broker.fail(
+                leased.unit_id, "w0", "transient breakage"
+            ) == "failed"
+        with pytest.raises(ExperimentError, match="failed"):
+            fleet.collect(path)
+        assert fleet.retry(path) == 1
+        assert fleet.retry(path) == 0
+        # After the fix, the fleet drains and collects normally.
+        fleet.work(path, worker_id="w1", wait=False)
+        result = fleet.collect(path)
+        assert result is not None
 
     def test_worker_rejects_nested_shard(self, tmp_path):
         from repro.eval.runner import RunnerConfig

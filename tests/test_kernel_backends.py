@@ -1,0 +1,363 @@
+"""Kernel backend registry + collapsed-row equivalence.
+
+The raw-speed tier (``repro.core.kernels``) must change *where* the
+likelihood arithmetic runs, never *what* it computes: every registered
+backend has to reproduce the reference numpy engine's localization on
+every registered scenario.  ``numpy`` keeps the uncollapsed code paths
+(bit-identical to everything ``test_columnar_equivalence`` pins);
+``collapsed`` and ``numba`` re-order float accumulation, so state
+floats are compared to tight tolerances while predictions and the
+structural per-set failed-member counts (``_set_b``) are compared
+exactly.  Backends that are registered but not constructible here
+(numba without the package) skip rather than fail.
+
+Prediction-identity holds up to exact ties: a problem with two
+hypotheses at bitwise-equal likelihood (ECMP sibling links the
+telemetry cannot distinguish) breaks the tie on rounding noise, so a
+reordered backend may pick the symmetric twin.  The registered
+scenario x seed grid below contains no such tie.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.flock_fast import (
+    VectorArrays,
+    VectorGreedyWithoutJle,
+    VectorJleState,
+)
+from repro.core.flock import FlockInference
+from repro.core.params import DEFAULT_PER_PACKET
+from repro.core.problem import InferenceProblem
+from repro.errors import InferenceError
+from repro.eval.experiments import standard_topology
+from repro.eval.harness import build_problem, effective_telemetry
+from repro.eval.scenarios import make_trace
+from repro.eval.schemes import build_localizer, make_setup
+from repro.routing import EcmpRouting, PathSpace
+from repro.simulation import FlowLevelSimulator, SilentLinkDrops
+from repro.simulation.failures import make_scenario, scenario_names
+from repro.telemetry import TelemetryConfig
+from repro.telemetry.inputs import build_observation_batch
+from repro.traffic import SpecBatch, UniformTraffic, generate_passive_flows
+
+#: Backends whose layouts differ from the reference and therefore need
+#: the equivalence sweep (numpy *is* the reference).
+FAST_BACKENDS = [n for n in kernels.backend_names() if n != "numpy"]
+
+#: Registered schemes that run on the vectorized kernel tier.
+KERNEL_SCHEMES = ["flock", "flock-greedy", "sherlock", "sherlock-jle"]
+
+
+def _require(backend: str) -> None:
+    if not kernels.backend_available(backend):
+        pytest.skip(f"kernel backend {backend!r} not available here")
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    topo = standard_topology("tiny")
+    return topo, EcmpRouting(topo)
+
+
+def _make_problem(tiny_world, scenario_name, seed=7, compressed=True):
+    topo, routing = tiny_world
+    trace = make_trace(
+        topo, routing, make_scenario(scenario_name), seed=seed,
+        n_passive=1_200, n_probes=200,
+    )
+    telemetry = TelemetryConfig.from_spec("A1+A2+P")
+    if compressed:
+        return build_problem(trace, telemetry)
+    obs_batch = build_observation_batch(
+        trace.batch, effective_telemetry(trace, telemetry),
+        np.random.default_rng(trace.seed + 0x5EED),
+    )
+    return InferenceProblem.from_batch(
+        obs_batch, topo.n_components, topo.n_links, compressed=False
+    )
+
+
+# --- registry ---------------------------------------------------------
+
+def test_registry_contents():
+    names = kernels.backend_names()
+    assert {"numpy", "collapsed", "numba"} <= set(names)
+    assert kernels.backend_available("numpy")
+    assert kernels.backend_available("collapsed")
+    available = kernels.available_backend_names()
+    assert "numpy" in available and "collapsed" in available
+
+
+def test_unknown_backend_rejected(tiny_world):
+    with pytest.raises(InferenceError, match="registered"):
+        kernels.resolve_backend("warp-drive")
+    # Engines validate at construction, not first localize.
+    with pytest.raises(InferenceError, match="registered"):
+        FlockInference(DEFAULT_PER_PACKET, kernel_backend="warp-drive")
+    with pytest.raises(InferenceError, match="registered"):
+        build_localizer("flock", kernel_backend="warp-drive")
+
+
+def test_env_var_selects_backend(tiny_world, monkeypatch):
+    problem = _make_problem(tiny_world, "no-failure")
+    monkeypatch.setenv(kernels.ENV_VAR, "collapsed")
+    arrays = VectorArrays(problem, DEFAULT_PER_PACKET)
+    assert arrays.kernels.name == "collapsed"
+    # The explicit argument outranks the environment.
+    arrays = VectorArrays(problem, DEFAULT_PER_PACKET, kernel_backend="numpy")
+    assert arrays.kernels.name == "numpy"
+    monkeypatch.delenv(kernels.ENV_VAR)
+    arrays = VectorArrays(problem, DEFAULT_PER_PACKET)
+    assert arrays.kernels.name == kernels.DEFAULT_BACKEND == "numpy"
+
+
+def test_numba_missing_raises_install_hint():
+    if kernels.backend_available("numba"):
+        pytest.skip("numba installed here; the miss path is not reachable")
+    assert "numba" in kernels.backend_names()
+    assert "numba" not in kernels.available_backend_names()
+    with pytest.raises(InferenceError, match=r"repro-flock\[numba\]"):
+        kernels.resolve_backend("numba")
+
+
+# --- collapsed-row structure ------------------------------------------
+
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_collapsed_row_invariants(tiny_world, scenario_name):
+    """Every flow must match its row header *bitwise*: (w, s, es) are
+    pure functions of the (interior set, observation bucket) key, so a
+    singleton row and a thousand-flow row obey the same check."""
+    problem = _make_problem(tiny_world, scenario_name)
+    va = VectorArrays(problem, DEFAULT_PER_PACKET, kernel_backend="collapsed")
+    assert va.n_rows <= problem.n_flows
+    rof = va._row_of_flow
+    iset_of_flow = va.iset_of_set[va.set_of_flow]
+    assert np.array_equal(va._row_iset[rof], iset_of_flow)
+    # Rows are iset-major sorted (the pair expansion relies on it).
+    assert np.all(np.diff(va._row_iset) >= 0)
+    # Bitwise header agreement for every member flow, not just the first.
+    assert np.array_equal(va._row_w[rof], va.w)
+    assert np.array_equal(va._row_s[rof], va.s)
+    assert np.array_equal(va._row_es[rof], va._es)
+    # Two flows in one row share the observation bucket exactly.
+    bad = problem.bad_packets
+    sent = problem.packets_sent
+    order = np.argsort(rof, kind="stable")
+    same_row = np.diff(rof[order]) == 0
+    assert np.array_equal(bad[order][1:][same_row], bad[order][:-1][same_row])
+    assert np.array_equal(sent[order][1:][same_row], sent[order][:-1][same_row])
+
+
+def test_collapse_shrinks_identical_buckets(tiny_world):
+    """A no-failure trace (every observation lands in the zero-bad
+    bucket family) collapses below one row per flow: the compressed
+    build is already weight-deduped per (set, observation), and
+    collapsing still merges rows across sets that share an interior
+    set and a bucket."""
+    com = _make_problem(tiny_world, "no-failure")
+    va_c = VectorArrays(com, DEFAULT_PER_PACKET, kernel_backend="collapsed")
+    assert va_c.n_rows < com.n_flows
+    # The uncompressed build factors every set trivially (one interior
+    # set per set), so every row is a singleton there: the collapse
+    # degenerates to the identity and must still price correctly
+    # (test_compressed_and_uncompressed_collapse_agree).
+    unc = _make_problem(tiny_world, "no-failure", compressed=False)
+    va_u = VectorArrays(unc, DEFAULT_PER_PACKET, kernel_backend="collapsed")
+    assert va_u.n_rows == unc.n_flows
+    assert va_c.n_rows < va_u.n_rows
+
+
+def test_collapsed_rows_tiny_trace(tiny_world):
+    """A near-degenerate trace (few flows, mostly singleton rows) runs
+    the same equivalence the big sweep checks."""
+    topo, routing = tiny_world
+    trace = make_trace(
+        topo, routing, make_scenario("silent-link-drops"), seed=5,
+        n_passive=50, n_probes=10,
+    )
+    problem = build_problem(trace, TelemetryConfig.from_spec("A1+A2+P"))
+    ref = VectorJleState(problem, DEFAULT_PER_PACKET)
+    col = VectorJleState(problem, DEFAULT_PER_PACKET, kernel_backend="collapsed")
+    np.testing.assert_allclose(col.delta, ref.delta, rtol=1e-9, atol=1e-9)
+    comp = int(np.argmax(ref.delta))
+    ref.flip(comp)
+    col.flip(comp)
+    assert np.array_equal(ref._set_b, col._set_b)
+    np.testing.assert_allclose(col.delta, ref.delta, rtol=1e-8, atol=1e-8)
+
+
+# --- backend equivalence against the numpy reference ------------------
+
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_state_equivalence(tiny_world, scenario_name, backend):
+    """Initial Δ, greedy flips, removal gains and hypothesis_ll agree
+    with the reference engine; structural state (_set_b) is exact."""
+    _require(backend)
+    problem = _make_problem(tiny_world, scenario_name)
+    ref = VectorJleState(problem, DEFAULT_PER_PACKET)
+    alt = VectorJleState(problem, DEFAULT_PER_PACKET, kernel_backend=backend)
+    np.testing.assert_allclose(alt.delta, ref.delta, rtol=1e-9, atol=1e-9)
+
+    for _ in range(4):
+        comp = int(np.argmax(ref.delta))
+        ref.flip(comp)
+        alt.flip(comp)
+        assert alt.hypothesis == ref.hypothesis
+        assert np.array_equal(alt._set_b, ref._set_b)
+        np.testing.assert_allclose(alt.delta, ref.delta, rtol=1e-8, atol=1e-8)
+        assert alt.ll == pytest.approx(ref.ll, rel=1e-9, abs=1e-9)
+
+    for comp in sorted(ref.hypothesis):
+        assert alt.removal_gain(comp) == pytest.approx(
+            ref.removal_gain(comp), rel=1e-7, abs=1e-7
+        )
+    hyp = sorted(ref.hypothesis)
+    assert alt.hypothesis_ll(hyp) == pytest.approx(
+        ref.hypothesis_ll(hyp), rel=1e-7, abs=1e-7
+    )
+
+
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_greedy_without_jle_equivalence(tiny_world, scenario_name, backend):
+    """The non-JLE greedy (candidate_gain path) localizes identically."""
+    _require(backend)
+    problem = _make_problem(tiny_world, scenario_name)
+    ref = VectorGreedyWithoutJle(problem, DEFAULT_PER_PACKET).run()
+    alt = VectorGreedyWithoutJle(
+        problem, DEFAULT_PER_PACKET, kernel_backend=backend
+    ).run()
+    assert alt.components == ref.components
+    assert alt.log_likelihood == pytest.approx(
+        ref.log_likelihood, rel=1e-9, abs=1e-9
+    )
+
+
+@pytest.mark.parametrize("scheme", KERNEL_SCHEMES)
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_scheme_predictions_match_across_backends(
+    tiny_world, scenario_name, scheme
+):
+    """Every kernel scheme predicts the same components on every
+    registered backend (scores and log-likelihood to float tolerance,
+    since collapsed/compiled accumulation order differs)."""
+    topo, routing = tiny_world
+    trace = make_trace(
+        topo, routing, make_scenario(scenario_name), seed=7,
+        n_passive=1_200, n_probes=200,
+    )
+    setup = make_setup(scheme)
+    problem = build_problem(trace, setup.telemetry)
+    reference = build_localizer(scheme, kernel_backend="numpy").localize(
+        problem
+    )
+    for backend in FAST_BACKENDS:
+        if not kernels.backend_available(backend):
+            continue
+        pred = build_localizer(scheme, kernel_backend=backend).localize(
+            problem
+        )
+        assert pred.components == reference.components
+        assert pred.log_likelihood == pytest.approx(
+            reference.log_likelihood, rel=1e-7, abs=1e-7
+        )
+        if reference.scores is None:
+            assert pred.scores is None
+        else:
+            assert set(pred.scores) == set(reference.scores)
+            for comp, score in pred.scores.items():
+                assert score == pytest.approx(
+                    reference.scores[comp], rel=1e-7, abs=1e-7
+                )
+
+
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
+def test_compressed_and_uncompressed_collapse_agree(tiny_world, backend):
+    """Collapsed pricing is layout-independent: the compressed and
+    uncompressed problem builds localize identically per backend."""
+    _require(backend)
+    compressed = _make_problem(tiny_world, "silent-link-drops")
+    uncompressed = _make_problem(
+        tiny_world, "silent-link-drops", compressed=False
+    )
+    assert compressed.compressed and not uncompressed.compressed
+    localizer = build_localizer("flock", kernel_backend=backend)
+    reference = build_localizer("flock").localize(compressed)
+    for problem in (compressed, uncompressed):
+        pred = localizer.localize(problem)
+        assert pred.components == reference.components
+        assert pred.log_likelihood == pytest.approx(
+            reference.log_likelihood, rel=1e-7, abs=1e-7
+        )
+
+
+# --- vectorized simulator RNG -----------------------------------------
+
+def _spec_batch(tiny_world, seed, n_flows=800):
+    topo, routing = tiny_world
+    rng = np.random.default_rng(seed)
+    injection = SilentLinkDrops(n_failures=2, min_rate=4e-3).inject(topo, rng)
+    specs = generate_passive_flows(
+        routing, UniformTraffic(topo), n_flows, rng
+    )
+    space = PathSpace(topo, routing)
+    return SpecBatch.from_specs(specs, space), injection
+
+
+def test_rng_modes_deterministic(tiny_world):
+    topo, _ = tiny_world
+    batch, injection = _spec_batch(tiny_world, seed=11)
+    sim = FlowLevelSimulator(topo)
+    for mode in ("grouped", "vectorized"):
+        a = sim.simulate_batch(
+            batch, injection, np.random.default_rng(5), rng_mode=mode
+        )
+        b = sim.simulate_batch(
+            batch, injection, np.random.default_rng(5), rng_mode=mode
+        )
+        assert np.array_equal(a.bad, b.bad)
+        assert np.array_equal(a.chosen_path, b.chosen_path)
+    # grouped is the default: omitting rng_mode is the historical stream.
+    default = sim.simulate_batch(batch, injection, np.random.default_rng(5))
+    grouped = sim.simulate_batch(
+        batch, injection, np.random.default_rng(5), rng_mode="grouped"
+    )
+    assert np.array_equal(default.bad, grouped.bad)
+    assert np.array_equal(default.chosen_path, grouped.chosen_path)
+
+
+def test_vectorized_rng_is_versioned_but_valid(tiny_world):
+    """The vectorized stream is explicitly different from grouped, but
+    every chosen path must still be a real (src, dst) member path and
+    loss mass must stay in the same regime."""
+    topo, _ = tiny_world
+    batch, injection = _spec_batch(tiny_world, seed=11)
+    sim = FlowLevelSimulator(topo)
+    grouped = sim.simulate_batch(
+        batch, injection, np.random.default_rng(5), rng_mode="grouped"
+    )
+    vec = sim.simulate_batch(
+        batch, injection, np.random.default_rng(5), rng_mode="vectorized"
+    )
+    assert not np.array_equal(grouped.bad, vec.bad)
+    space = batch.space
+    for i in range(0, len(batch), 37):
+        nodes = space.path_nodes(int(vec.chosen_path[i]))
+        assert nodes[0] == batch.src[i]
+        assert nodes[-1] == batch.dst[i]
+    g_rate = grouped.bad.sum() / grouped.packets.sum()
+    v_rate = vec.bad.sum() / vec.packets.sum()
+    assert v_rate > 0
+    assert 0.2 < v_rate / g_rate < 5.0
+
+
+def test_rng_mode_rejects_unknown(tiny_world):
+    topo, _ = tiny_world
+    batch, injection = _spec_batch(tiny_world, seed=11, n_flows=10)
+    with pytest.raises(ValueError, match="rng_mode"):
+        FlowLevelSimulator(topo).simulate_batch(
+            batch, injection, np.random.default_rng(5), rng_mode="turbo"
+        )
