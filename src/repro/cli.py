@@ -223,6 +223,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel-backend", default=None, metavar="NAME",
         help="localization kernel backend (numpy, collapsed, numba)",
     )
+    fwork.add_argument(
+        "--heartbeat-seconds", type=float, default=None, metavar="S",
+        help="mid-unit lease renewal interval (default: a third of the "
+             "broker's lease; <= 0 disables heartbeats)",
+    )
 
     fstatus = fsub.add_parser(
         "status", help="show a broker's unit-lifecycle counts"
@@ -298,6 +303,60 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--kernel-backend", default=None, metavar="NAME",
         help="localization kernel backend (numpy, collapsed, numba)",
+    )
+    stream.add_argument(
+        "--cycle-budget", type=float, default=None, metavar="S",
+        help="per-cycle wall-clock budget in seconds; over-budget "
+             "cycles degrade gracefully (warm greedy fallback, then "
+             "carrying the previous hypothesis) instead of falling "
+             "behind the stream",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection soak against the fleet "
+             "(virtual clock; asserts bit-identical collection)",
+    )
+    chaos.add_argument(
+        "--experiment", default="fig2", metavar="NAME",
+        help="a shardable experiment to soak (default: fig2)",
+    )
+    chaos.add_argument(
+        "--preset", choices=experiments.PRESETS, default="tiny"
+    )
+    chaos.add_argument(
+        "--seeds", type=int, default=3, metavar="N",
+        help="number of consecutive chaos seeds to soak (default: 3)",
+    )
+    chaos.add_argument(
+        "--base-seed", type=int, default=0, metavar="S",
+        help="first chaos seed (default: 0)",
+    )
+    chaos.add_argument(
+        "--profile", choices=("light", "default", "heavy"),
+        default="default",
+        help="fault-probability profile (default: default)",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=3, metavar="N",
+        help="virtual workers per soak (default: 3)",
+    )
+    chaos.add_argument(
+        "--unit-traces", type=int, default=2, metavar="T",
+        help="traces per work unit (default: 2)",
+    )
+    chaos.add_argument(
+        "--lease-seconds", type=float, default=30.0, metavar="S",
+        help="virtual lease length (default: 30)",
+    )
+    chaos.add_argument(
+        "--max-attempts", type=int, default=10, metavar="N",
+        help="claims per unit before failed (default: 10; chaos burns "
+             "attempts on purpose)",
+    )
+    chaos.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="keep broker files here (default: a temp dir)",
     )
     return parser
 
@@ -466,6 +525,13 @@ def _merge(args) -> int:
     return 0
 
 
+def _error_headline(error: str) -> str:
+    """The exception line of a stored unit error (errors are full
+    tracebacks since broker v2; status lines want one line)."""
+    lines = [line for line in error.strip().splitlines() if line.strip()]
+    return lines[-1] if lines else error
+
+
 def _fleet(args) -> int:
     """Dispatch the ``fleet`` subcommands (submit/work/status/collect)."""
     from .eval import fleet
@@ -499,11 +565,17 @@ def _fleet(args) -> int:
             runner=_runner_from_args(args),
             max_units=args.max_units,
             wait=not args.no_wait,
+            heartbeat_seconds=args.heartbeat_seconds,
         )
-        print(
+        line = (
             f"worker {report.worker}: {report.completed} unit(s) completed, "
             f"{report.failed} failed, {report.stale} stale"
         )
+        if report.renewed:
+            line += f", {report.renewed} lease renewal(s)"
+        if report.io_retries:
+            line += f", {report.io_retries} I/O retr(ies)"
+        print(line)
         return 0
     if args.fleet_command == "status":
         state = fleet.status(args.broker, detail=args.units)
@@ -528,15 +600,18 @@ def _fleet(args) -> int:
                     line += f", ETA ~{progress['eta_s']:.0f}s"
             print(line)
         for unit_id, error in state["errors"]:
-            print(f"  unit {unit_id} failed: {error}")
+            print(f"  unit {unit_id} failed: {_error_headline(error)}")
         if args.units:
             for row in state["units"]:
                 holder = f" worker={row['worker']}" if row["worker"] else ""
-                print(
+                line = (
                     f"  unit {row['id']}: call {row['call_index']} traces "
                     f"[{row['start']}, {row['stop']}) {row['status']} "
                     f"attempts={row['attempts']}{holder}"
                 )
+                if row["error"]:
+                    line += f" error={_error_headline(row['error'])}"
+                print(line)
         return 0
     if args.fleet_command == "retry":
         requeued = fleet.retry(args.broker)
@@ -549,6 +624,54 @@ def _fleet(args) -> int:
             print(f"\nwrote collected result to {save_result(result, args.out)}")
         return 0
     raise ExperimentError(f"unknown fleet command {args.fleet_command!r}")
+
+
+def _chaos(args) -> int:
+    """Seeded fault-injection soaks: fleet under chaos vs. serial."""
+    import tempfile
+
+    from .errors import ChaosError
+    from .eval import chaos
+
+    spec = chaos.PROFILES[args.profile]
+    seeds = range(args.base_seed, args.base_seed + args.seeds)
+    print(
+        f"chaos soak: {args.experiment} ({args.preset}), "
+        f"{args.seeds} seed(s) from {args.base_seed}, "
+        f"profile {args.profile}, {args.workers} virtual worker(s)"
+    )
+
+    def _soak(workdir) -> List[chaos.ChaosSoakReport]:
+        return chaos.run_chaos_suite(
+            experiment=args.experiment,
+            preset=args.preset,
+            seeds=seeds,
+            spec=spec,
+            workdir=workdir,
+            n_workers=args.workers,
+            unit_traces=args.unit_traces,
+            lease_seconds=args.lease_seconds,
+            max_attempts=args.max_attempts,
+            strict=False,
+            echo=lambda line: print(f"  {line}"),
+        )
+
+    if args.workdir is not None:
+        reports = _soak(args.workdir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+            reports = _soak(workdir)
+    faults = sum(sum(r.events.values()) for r in reports)
+    ok = sum(1 for r in reports if r.ok)
+    print(
+        f"{ok}/{len(reports)} soak(s) drained bit-identical to serial "
+        f"under {faults} injected fault(s)"
+    )
+    if ok != len(reports):
+        raise ChaosError(
+            f"{len(reports) - ok} of {len(reports)} chaos soak(s) failed"
+        )
+    return 0
 
 
 def _list(args) -> int:
@@ -620,12 +743,17 @@ def _stream(args) -> int:
         window=args.window,
         warm=not args.no_warm,
         seed=args.seed,
+        cycle_budget=args.cycle_budget,
     )
     mode = "warm" if monitor.warm else "cold"
+    budget = (
+        f", budget {args.cycle_budget * 1e3:.0f}ms/cycle"
+        if args.cycle_budget is not None else ""
+    )
     print(
         f"streaming {args.scenario} on {args.preset} fabric "
         f"({topology.n_links} links): {args.cycles} cycles, "
-        f"window {args.window}, scheme {monitor.setup.name} ({mode})"
+        f"window {args.window}, scheme {monitor.setup.name} ({mode}){budget}"
     )
     reports = []
     for chunk in chunks:
@@ -636,10 +764,20 @@ def _stream(args) -> int:
         )
         mark = "*" if report.detected else (" " if not report.truth else "!")
         ms = (report.build_seconds + report.localize_seconds) * 1e3
+        degraded = (
+            f"  degraded({report.degrade_reason})" if report.degrade_reason
+            else ""
+        )
         print(
             f"  cycle {report.cycle:>3} [{mark}] flows={report.raw_flows:>6} "
             f"window={report.grouped_flows:>7} churn={report.churn} "
-            f"{ms:7.1f}ms  predicted: {', '.join(names) if names else '-'}"
+            f"{ms:7.1f}ms  predicted: "
+            f"{', '.join(names) if names else '-'}{degraded}"
+        )
+    if args.cycle_budget is not None:
+        print(
+            f"{monitor.degraded_cycles} degraded cycle(s) of "
+            f"{len(reports)} under the {args.cycle_budget * 1e3:.0f}ms budget"
         )
     for inc in incident_latencies(reports):
         if inc["detected_cycle"] is None:
@@ -686,6 +824,8 @@ def _main(argv=None) -> int:
         return _fleet(args)
     if args.command == "stream":
         return _stream(args)
+    if args.command == "chaos":
+        return _chaos(args)
     if args.experiment == "all":
         # Per-experiment flags don't compose with 'all': overrides are
         # validated against one builder's knobs, and probe-only

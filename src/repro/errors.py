@@ -47,3 +47,18 @@ class CalibrationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition is inconsistent or produced no data."""
+
+
+class FleetError(ExperimentError):
+    """The work-unit broker or a fleet worker hit an unrecoverable
+    condition (corrupt results, lost leases, schema drift).
+
+    Subclasses :class:`ExperimentError` so existing fleet callers that
+    catch the broader class keep working.
+    """
+
+
+class ChaosError(ReproError):
+    """The fault-injection harness was misconfigured, or a chaos soak
+    ended in a state it asserts against (non-draining fleet, collected
+    results diverging from serial)."""

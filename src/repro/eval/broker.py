@@ -23,9 +23,21 @@ Unit lifecycle::
 * **Leases** bound the damage of a crashed worker: a claim holds for
   ``lease_seconds``; an expired lease is reaped back to ``pending`` on
   the next broker operation, so the unit is re-run by whoever claims
-  next.  A completion from a worker that lost its lease is discarded
-  (results are deterministic, but exactly-one-writer keeps the results
-  table unambiguous).
+  next.  A completion, failure report, or :meth:`~Broker.renew` from a
+  worker that lost its lease - including one whose lease expired but
+  was not yet reaped - is discarded (results are deterministic, but
+  exactly-one-writer keeps the results table unambiguous).
+* **Heartbeats**: a worker executing a unit longer than its lease
+  renews mid-unit via :meth:`~Broker.renew` (the fleet worker runs a
+  background ticker; see ``heartbeat_seconds``).  Renewal extends the
+  lease from *now*, and a late renewal after expiry is discarded
+  exactly like a late completion, so a stalled worker cannot
+  resurrect a lease another worker may already hold.
+* **Checksummed results**: every stored payload carries a checksum
+  computed by the worker *before* the payload went on the wire;
+  :meth:`~Broker.verify_results` (run by ``fleet collect``) detects
+  transport/storage corruption and re-queues the unit instead of
+  letting garbage fold into the experiment result.
 * **Bounded retries**: every claim counts as an attempt; a unit whose
   lease expires (or whose execution raises) after ``max_attempts``
   claims moves to ``failed`` with the error recorded, and
@@ -52,10 +64,10 @@ import sqlite3
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ExperimentError
-from .serialize import SCHEMA_VERSION
+from ..errors import ExperimentError, FleetError
+from .serialize import SCHEMA_VERSION, encode_unit_payload, payload_checksum
 from .units import (
     CallPlan,
     WorkUnit,
@@ -64,7 +76,11 @@ from .units import (
     unit_payload_entries,
 )
 
-BROKER_FORMAT = "flock-broker-v1"
+BROKER_FORMAT = "flock-broker-v2"
+
+#: Formats this checkout recognizes but no longer speaks (v1 predates
+#: result checksums and mid-unit lease renewal).
+OUTDATED_FORMATS = ("flock-broker-v1",)
 
 #: Experiment-identity keys stored in broker meta (mirrors the shard
 #: payload's ``_META_KEYS`` contract: everything that changes the spec).
@@ -91,6 +107,7 @@ CREATE INDEX units_by_status ON units(status, id);
 CREATE TABLE results (
     unit_id      INTEGER PRIMARY KEY REFERENCES units(id),
     payload      TEXT NOT NULL,
+    checksum     TEXT NOT NULL,
     worker       TEXT NOT NULL,
     completed_at REAL NOT NULL
 );
@@ -143,9 +160,24 @@ class Broker:
     can be shared across a worker's whole run but not across threads.
     """
 
-    def __init__(self, path: Path, connection: sqlite3.Connection):
+    def __init__(
+        self,
+        path: Path,
+        connection: sqlite3.Connection,
+        fault_hook: Optional[Callable[[str], None]] = None,
+    ):
         self.path = path
         self._conn = connection
+        #: Test/chaos seam: called with the operation name at the top of
+        #: every lifecycle method, *before* any transaction opens, so it
+        #: can raise ``sqlite3.OperationalError`` to simulate the
+        #: transient lock contention :class:`~repro.retry.RetryPolicy`
+        #: is expected to absorb.
+        self.fault_hook = fault_hook
+
+    def _fault(self, op: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(op)
 
     # -- construction --------------------------------------------------
 
@@ -222,7 +254,9 @@ class Broker:
         return cls(path, conn)
 
     @classmethod
-    def open(cls, path) -> "Broker":
+    def open(
+        cls, path, fault_hook: Optional[Callable[[str], None]] = None
+    ) -> "Broker":
         """Open an existing broker, validating format + wire schema."""
         path = Path(path)
         if not path.exists():
@@ -241,6 +275,13 @@ class Broker:
                     f"{path} is not a broker database: {exc}"
                 ) from None
             fmt = json.loads(rows.get("format", "null"))
+            if fmt in OUTDATED_FORMATS:
+                raise ExperimentError(
+                    f"broker {path} was created as {fmt} by an older "
+                    f"checkout; this checkout speaks {BROKER_FORMAT} "
+                    "(result checksums + lease renewal) - resubmit the "
+                    "fleet to a fresh broker file"
+                )
             if fmt != BROKER_FORMAT:
                 raise ExperimentError(
                     f"{path} is not a {BROKER_FORMAT} database (format={fmt!r})"
@@ -255,7 +296,7 @@ class Broker:
         except BaseException:
             conn.close()
             raise
-        return cls(path, conn)
+        return cls(path, conn, fault_hook=fault_hook)
 
     def close(self) -> None:
         self._conn.close()
@@ -293,6 +334,34 @@ class Broker:
 
     # -- lifecycle -----------------------------------------------------
 
+    def _reap_unit(
+        self, unit_id: int, attempts: int, worker, max_attempts: int
+    ) -> str:
+        """Within an open transaction: recycle one expired lease.
+
+        Lease bookkeeping (``worker``/``lease_expires``) is cleared on
+        both paths so a stale holder can never leak into the next
+        attempt; an exhausted unit keeps the expiry diagnosis in
+        ``error``.  Returns the unit's new status.
+        """
+        if attempts >= max_attempts:
+            self._conn.execute(
+                "UPDATE units SET status = 'failed', worker = NULL, "
+                "lease_expires = NULL, error = ? WHERE id = ?",
+                (
+                    f"lease expired after {attempts} attempt(s); "
+                    f"last worker: {worker}",
+                    unit_id,
+                ),
+            )
+            return "failed"
+        self._conn.execute(
+            "UPDATE units SET status = 'pending', worker = NULL, "
+            "lease_expires = NULL WHERE id = ?",
+            (unit_id,),
+        )
+        return "pending"
+
     def _reap_expired(self, now: float, max_attempts: int) -> int:
         """Within an open transaction: recycle expired leases.
 
@@ -305,21 +374,7 @@ class Broker:
             (now,),
         ).fetchall()
         for unit_id, attempts, worker in expired:
-            if attempts >= max_attempts:
-                self._conn.execute(
-                    "UPDATE units SET status = 'failed', error = ? WHERE id = ?",
-                    (
-                        f"lease expired after {attempts} attempt(s); "
-                        f"last worker: {worker}",
-                        unit_id,
-                    ),
-                )
-            else:
-                self._conn.execute(
-                    "UPDATE units SET status = 'pending', worker = NULL, "
-                    "lease_expires = NULL WHERE id = ?",
-                    (unit_id,),
-                )
+            self._reap_unit(unit_id, attempts, worker, max_attempts)
         return len(expired)
 
     def claim(
@@ -327,6 +382,7 @@ class Broker:
     ) -> Optional[LeasedUnit]:
         """Atomically lease the oldest pending unit (reaping expired
         leases first).  Returns ``None`` when nothing is claimable."""
+        self._fault("claim")
         now = now if now is not None else time.time()
         meta = self.meta()
         lease_seconds = float(meta["lease_seconds"])
@@ -362,26 +418,54 @@ class Broker:
         self,
         unit_id: int,
         worker: str,
-        payload: Dict,
+        payload: Optional[Dict] = None,
         now: Optional[float] = None,
+        wire: Optional[str] = None,
+        checksum: Optional[str] = None,
     ) -> bool:
         """Mark a leased unit done and store its result payload.
 
+        The payload may arrive as an object (``payload``, encoded and
+        checksummed here) or pre-encoded (``wire`` + ``checksum``, the
+        fleet worker's path: the checksum is computed over the payload
+        *before* it crosses any wire, so corruption in transit is
+        detectable by :meth:`verify_results`).
+
         Returns ``False`` (and stores nothing) when the worker no
-        longer holds the unit's lease - e.g. it stalled past expiry and
-        the unit was re-leased - so exactly one result row ever exists
-        per unit.
+        longer holds the unit's lease - it stalled past expiry (the
+        late completion is discarded and the lease reaped, whether or
+        not anyone re-claimed it yet) or the unit was re-leased - so
+        exactly one result row ever exists per unit.
         """
+        self._fault("complete")
+        if wire is None:
+            if payload is None:
+                raise FleetError(
+                    "complete() needs either a payload object or a "
+                    "pre-encoded wire + checksum"
+                )
+            wire, checksum = encode_unit_payload(payload)
+        elif checksum is None:
+            raise FleetError("pre-encoded completions must carry a checksum")
         now = now if now is not None else time.time()
+        max_attempts = self.max_attempts
         self._conn.execute("BEGIN IMMEDIATE")
         try:
             row = self._conn.execute(
-                "SELECT status, worker FROM units WHERE id = ?", (unit_id,)
+                "SELECT status, worker, lease_expires, attempts "
+                "FROM units WHERE id = ?",
+                (unit_id,),
             ).fetchone()
             if row is None:
                 raise ExperimentError(f"unknown unit id {unit_id}")
-            status, holder = row
+            status, holder, lease_expires, attempts = row
             if status != "leased" or holder != worker:
+                self._conn.execute("COMMIT")
+                return False
+            if lease_expires is not None and lease_expires < now:
+                # Late completion: the lease already ran out, so the
+                # unit may be (or be about to be) someone else's.
+                self._reap_unit(unit_id, attempts, holder, max_attempts)
                 self._conn.execute("COMMIT")
                 return False
             self._conn.execute(
@@ -390,15 +474,61 @@ class Broker:
                 (unit_id,),
             )
             self._conn.execute(
-                "INSERT INTO results (unit_id, payload, worker, completed_at) "
-                "VALUES (?, ?, ?, ?)",
-                (unit_id, json.dumps(payload), worker, now),
+                "INSERT INTO results "
+                "(unit_id, payload, checksum, worker, completed_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (unit_id, wire, checksum, worker, now),
             )
             self._conn.execute("COMMIT")
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
         return True
+
+    def renew(
+        self, unit_id: int, worker: str, now: Optional[float] = None
+    ) -> Optional[float]:
+        """Extend a held lease (the worker heartbeat).
+
+        Returns the new expiry when the worker still holds a live
+        lease.  A renewal after expiry is discarded exactly like a late
+        completion - the unit is reaped (re-queued or failed) and
+        ``None`` comes back, telling the worker its result will be
+        stale.  ``None`` also means the unit moved on (completed,
+        re-leased, failed).
+        """
+        self._fault("renew")
+        now = now if now is not None else time.time()
+        meta = self.meta()
+        lease_seconds = float(meta["lease_seconds"])
+        max_attempts = int(meta["max_attempts"])
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT status, worker, lease_expires, attempts "
+                "FROM units WHERE id = ?",
+                (unit_id,),
+            ).fetchone()
+            if row is None:
+                raise ExperimentError(f"unknown unit id {unit_id}")
+            status, holder, lease_expires, attempts = row
+            if status != "leased" or holder != worker:
+                self._conn.execute("COMMIT")
+                return None
+            if lease_expires is not None and lease_expires < now:
+                self._reap_unit(unit_id, attempts, holder, max_attempts)
+                self._conn.execute("COMMIT")
+                return None
+            expires = now + lease_seconds
+            self._conn.execute(
+                "UPDATE units SET lease_expires = ? WHERE id = ?",
+                (expires, unit_id),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return expires
 
     def fail(
         self,
@@ -411,19 +541,28 @@ class Broker:
 
         Returns the unit's new status (``'pending'`` while retries
         remain, ``'failed'`` once attempts are exhausted), or ``None``
-        when the worker no longer held the lease.
+        when the worker no longer held the lease (including a lease
+        that expired un-reaped - the late failure report is discarded
+        like a late completion).
         """
+        self._fault("fail")
+        now = now if now is not None else time.time()
         max_attempts = self.max_attempts
         self._conn.execute("BEGIN IMMEDIATE")
         try:
             row = self._conn.execute(
-                "SELECT status, worker, attempts FROM units WHERE id = ?",
+                "SELECT status, worker, attempts, lease_expires "
+                "FROM units WHERE id = ?",
                 (unit_id,),
             ).fetchone()
             if row is None:
                 raise ExperimentError(f"unknown unit id {unit_id}")
-            status, holder, attempts = row
+            status, holder, attempts, lease_expires = row
             if status != "leased" or holder != worker:
+                self._conn.execute("COMMIT")
+                return None
+            if lease_expires is not None and lease_expires < now:
+                self._reap_unit(unit_id, attempts, holder, max_attempts)
                 self._conn.execute("COMMIT")
                 return None
             new_status = "failed" if attempts >= max_attempts else "pending"
@@ -467,9 +606,48 @@ class Broker:
             raise
         return len(failed)
 
+    def verify_results(self) -> List[int]:
+        """Checksum-audit stored payloads; re-queue corrupted units.
+
+        Recomputes each result row's checksum over the stored payload
+        text.  A mismatch means the payload was damaged between the
+        worker's serialization and here (wire corruption, torn write,
+        bit rot); the result row is deleted and the unit re-queued as
+        ``pending`` - its attempt budget intact, since the *work*
+        didn't fail - so the fleet simply re-runs it.  Returns the
+        re-queued unit ids.  ``fleet collect`` runs this before
+        folding anything.
+        """
+        self._fault("verify_results")
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            corrupt = [
+                unit_id
+                for unit_id, payload, checksum in self._conn.execute(
+                    "SELECT unit_id, payload, checksum FROM results "
+                    "ORDER BY unit_id"
+                )
+                if payload_checksum(payload) != checksum
+            ]
+            for unit_id in corrupt:
+                self._conn.execute(
+                    "DELETE FROM results WHERE unit_id = ?", (unit_id,)
+                )
+                self._conn.execute(
+                    "UPDATE units SET status = 'pending', worker = NULL, "
+                    "lease_expires = NULL, error = NULL WHERE id = ?",
+                    (unit_id,),
+                )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return corrupt
+
     # -- introspection -------------------------------------------------
 
     def counts(self) -> FleetCounts:
+        self._fault("counts")
         rows = dict(
             self._conn.execute(
                 "SELECT status, COUNT(*) FROM units GROUP BY status"
@@ -479,6 +657,7 @@ class Broker:
 
     def next_lease_expiry(self) -> Optional[float]:
         """Earliest outstanding lease expiry (workers sleep until it)."""
+        self._fault("next_lease_expiry")
         row = self._conn.execute(
             "SELECT MIN(lease_expires) FROM units WHERE status = 'leased'"
         ).fetchone()
@@ -518,13 +697,25 @@ class Broker:
         ]
 
     def results(self) -> List[Tuple[WorkUnit, List]]:
-        """Completed units with their recorded wire entries, unit order."""
+        """Completed units with their recorded wire entries, unit order.
+
+        Every payload is checksum-verified on the way out (defense in
+        depth behind :meth:`verify_results`, which re-queues instead of
+        raising); a mismatch here means the database changed under us.
+        """
         rows = self._conn.execute(
-            "SELECT u.call_index, u.start, u.stop, u.seeds, r.payload "
+            "SELECT u.call_index, u.start, u.stop, u.seeds, r.payload, "
+            "r.checksum "
             "FROM results r JOIN units u ON u.id = r.unit_id ORDER BY r.unit_id"
         ).fetchall()
         out = []
-        for call_index, start, stop, seeds, payload in rows:
+        for call_index, start, stop, seeds, payload, checksum in rows:
+            if payload_checksum(payload) != checksum:
+                raise FleetError(
+                    f"result payload for unit covering call {call_index} "
+                    f"traces [{start}, {stop}) fails its checksum; run "
+                    "verify_results()/'fleet collect' to re-queue it"
+                )
             unit = WorkUnit(
                 call_index, start, stop, seeds=tuple(json.loads(seeds))
             )

@@ -1,0 +1,452 @@
+"""Seeded fault injection for the evaluation fleet and streaming layers.
+
+The fleet's robustness claims - crashed workers don't lose units, late
+completions never double-count, corrupted payloads never fold, lock
+contention never kills a worker - are only claims until something
+hostile exercises them on purpose.  This module is that something: a
+deterministic chaos harness that drives a real broker + real workers
+(real :func:`~repro.eval.spec.run_spec` executions) under a schedule of
+injected faults, on a virtual clock, and asserts the end state.
+
+The pieces:
+
+* :class:`ChaosSpec` - per-fault probabilities (crash at claim, crash
+  mid-unit, pre-completion stalls past the lease, ``database is
+  locked`` on broker operations, corrupted result payloads, per-worker
+  clock skew, chunk-arrival bursts for the stream monitor).
+* :class:`ChaosPolicy` - the deterministic per-seed schedule, exposed
+  as the exact hook shapes :func:`repro.eval.fleet.work` and
+  :class:`repro.eval.broker.Broker` accept (``on_claim`` /
+  ``on_executed`` / ``transform_wire`` / ``fault_hook``).  Every
+  decision comes from one seeded RNG consumed in execution order, so a
+  soak replays bit-identically for the same seed.
+* :class:`ChaosClock` - the shared virtual clock.  Workers see skewed
+  views of it; stalls and backoff sleeps advance it; lease expiry is
+  therefore deterministic too.
+* :func:`run_chaos_soak` - submit, run virtual workers under chaos
+  until the broker drains (healing attempt-exhausted units via
+  ``retry_failed`` and corrupted results via ``verify_results`` along
+  the way), then ``collect`` and compare bit-for-bit against a serial
+  run of the same experiment.
+
+A simulated worker crash is :class:`WorkerCrash` - deliberately *not*
+a :class:`~repro.errors.ReproError`, and raised only from hooks outside
+the worker's unit-failure handling, so it escapes ``fleet.work`` with
+the lease still held: exactly the wreckage a SIGKILL leaves.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import random
+import time
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ChaosError
+from ..retry import RetryPolicy
+from . import fleet
+from .broker import Broker, LeasedUnit
+from .spec import run_experiment
+
+
+class WorkerCrash(Exception):
+    """A chaos-simulated worker death (process gone, lease left held)."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Per-fault probabilities and magnitudes of one chaos schedule.
+
+    Probabilities are per *opportunity*: ``crash_at_claim`` per claimed
+    unit, ``crash_mid_unit``/``stall`` per executed unit, ``db_locked``
+    per broker operation, ``corrupt`` per completion payload, ``burst``
+    per stream cycle.  ``max_clock_skew`` bounds each virtual worker's
+    fixed offset from the shared clock.
+    """
+
+    crash_at_claim: float = 0.10
+    crash_mid_unit: float = 0.10
+    stall: float = 0.10
+    db_locked: float = 0.12
+    corrupt: float = 0.10
+    max_clock_skew: float = 2.0
+    burst: float = 0.25
+    max_burst: int = 3
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "max_burst":
+                if value < 1:
+                    raise ChaosError(f"max_burst must be >= 1, got {value}")
+            elif value < 0:
+                raise ChaosError(f"{f.name} must be >= 0, got {value}")
+            elif f.name not in ("max_clock_skew",) and value > 1:
+                raise ChaosError(
+                    f"{f.name} is a probability and must be <= 1, got {value}"
+                )
+
+
+#: A gentler schedule (smoke tests: a fault or two per soak).
+LIGHT = ChaosSpec(
+    crash_at_claim=0.05, crash_mid_unit=0.05, stall=0.05,
+    db_locked=0.05, corrupt=0.05, max_clock_skew=1.0,
+)
+#: The default schedule: every fault class fires in a short soak.
+DEFAULT = ChaosSpec()
+#: A hostile schedule: most units hit at least one fault.
+HEAVY = ChaosSpec(
+    crash_at_claim=0.25, crash_mid_unit=0.25, stall=0.2,
+    db_locked=0.25, corrupt=0.2, max_clock_skew=5.0,
+)
+
+PROFILES: Dict[str, ChaosSpec] = {
+    "light": LIGHT, "default": DEFAULT, "heavy": HEAVY,
+}
+
+
+class ChaosClock:
+    """The soak's shared virtual clock.
+
+    ``sleep`` is handed to workers and the retry policy, so backoff
+    delays advance simulated time instead of blocking the test.
+    """
+
+    def __init__(self, start: float = 1_000.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ChaosError(f"cannot advance the clock by {seconds}")
+        self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(max(0.0, seconds))
+
+
+class ChaosPolicy:
+    """Deterministic per-seed fault schedule, shaped as worker hooks.
+
+    One ``random.Random(seed)`` drives every decision; the soak calls
+    hooks in a deterministic order (single-threaded virtual workers),
+    so the whole fault schedule - and therefore the whole soak - is a
+    pure function of ``(experiment, preset, spec, seed)``.
+
+    ``events`` tallies every injected fault for reporting.
+    """
+
+    #: Broker operations eligible for injected lock contention.  Reads
+    #: used by the soak driver itself (verify/status) stay clean so the
+    #: harness never trips over its own faults.
+    FAULTABLE_OPS = ("claim", "complete", "fail", "renew", "counts")
+
+    def __init__(
+        self,
+        seed: int,
+        spec: ChaosSpec = DEFAULT,
+        clock: Optional[ChaosClock] = None,
+    ) -> None:
+        self.seed = seed
+        self.spec = spec
+        self.clock = clock if clock is not None else ChaosClock()
+        self._rng = random.Random(seed)
+        self._skews: Dict[str, float] = {}
+        #: Set by the soak once the broker exists; stalls scale off it.
+        self.lease_seconds: float = 60.0
+        self.events: Dict[str, int] = {}
+        #: Deterministic backoff jitter, fast virtual delays.
+        self.retry = RetryPolicy(
+            attempts=8, base_delay=0.05, max_delay=1.0, seed=seed,
+        )
+
+    def _hit(self, probability: float, event: str) -> bool:
+        roll = self._rng.random() < probability
+        if roll:
+            self.events[event] = self.events.get(event, 0) + 1
+        return roll
+
+    # -- clock ----------------------------------------------------------
+
+    def worker_clock(self, worker: str) -> Callable[[], float]:
+        """The shared clock through ``worker``'s fixed skew."""
+        if worker not in self._skews:
+            skew = self._rng.uniform(
+                -self.spec.max_clock_skew, self.spec.max_clock_skew
+            )
+            self._skews[worker] = skew
+            if skew:
+                self.events["clock_skew"] = self.events.get("clock_skew", 0) + 1
+        skew = self._skews[worker]
+        return lambda: self.clock.now() + skew
+
+    # -- broker hook ----------------------------------------------------
+
+    def broker_fault(self, op: str) -> None:
+        """``Broker.fault_hook``: transient lock contention."""
+        if op in self.FAULTABLE_OPS and self._hit(
+            self.spec.db_locked, "db_locked"
+        ):
+            raise sqlite3.OperationalError("database is locked (chaos)")
+
+    # -- worker hooks ----------------------------------------------------
+
+    def on_claim(self, leased: LeasedUnit) -> None:
+        """Crash-at-unit: die right after claiming, before executing."""
+        if self._hit(self.spec.crash_at_claim, "crash_at_claim"):
+            raise WorkerCrash(f"chaos: crashed at claim of unit {leased.unit_id}")
+
+    def on_executed(self, leased: LeasedUnit) -> None:
+        """Post-execution faults: mid-unit crash, or a stall that holds
+        the completion until after the lease expired."""
+        if self._hit(self.spec.crash_mid_unit, "crash_mid_unit"):
+            raise WorkerCrash(
+                f"chaos: crashed mid-unit holding unit {leased.unit_id}"
+            )
+        if self._hit(self.spec.stall, "stall"):
+            # Past any lease + skew: the late completion must be
+            # discarded as stale, never double-counted.
+            self.clock.advance(
+                self.lease_seconds * 1.5 + 2.0 * self.spec.max_clock_skew
+            )
+
+    def corrupt_wire(self, leased: LeasedUnit, wire: str) -> str:
+        """``transform_wire``: damage the payload after checksumming."""
+        if not self._hit(self.spec.corrupt, "corrupt"):
+            return wire
+        index = self._rng.randrange(len(wire))
+        flipped = "X" if wire[index] != "X" else "Y"
+        return wire[:index] + flipped + wire[index + 1:]
+
+    # -- stream hook -----------------------------------------------------
+
+    def arrival_bursts(self, n_chunks: int) -> List[int]:
+        """Chunk arrivals per monitor cycle (stream-layer chaos).
+
+        Mostly one chunk per cycle; with probability ``burst`` a cycle
+        delivers up to ``max_burst`` chunks at once (its successors
+        deliver none), simulating an ingest pipeline that hiccuped and
+        dumped its backlog.  Sums to ``n_chunks``.
+        """
+        arrivals: List[int] = []
+        remaining = n_chunks
+        while remaining > 0:
+            if remaining > 1 and self._hit(self.spec.burst, "burst"):
+                size = min(remaining, self._rng.randint(2, self.spec.max_burst))
+            else:
+                size = 1
+            arrivals.append(size)
+            remaining -= size
+        return arrivals
+
+    def step_seconds(self) -> float:
+        """Virtual time between worker passes (keeps leases expiring)."""
+        return self._rng.uniform(1.0, 5.0)
+
+
+@dataclass(frozen=True)
+class ChaosSoakReport:
+    """Outcome of one seeded soak."""
+
+    experiment: str
+    preset: str
+    seed: int
+    drained: bool
+    identical: bool
+    rounds: int
+    crashes: int
+    completed: int
+    stale: int
+    io_retries: int
+    healed_failed: int  #: attempt-exhausted units re-queued mid-soak
+    corrupt_requeued: int  #: checksum-failed results re-queued mid-soak
+    events: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.drained and self.identical
+
+    def summary(self) -> str:
+        events = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.events.items())
+        ) or "no faults fired"
+        verdict = "OK" if self.ok else (
+            "DIVERGED" if self.drained else "DID NOT DRAIN"
+        )
+        return (
+            f"seed {self.seed}: {verdict} after {self.rounds} round(s) - "
+            f"{self.completed} completion(s), {self.stale} stale, "
+            f"{self.crashes} crash(es), {self.io_retries} I/O retr(ies), "
+            f"{self.healed_failed} healed, {self.corrupt_requeued} corrupt "
+            f"re-queue(s) [{events}]"
+        )
+
+
+def run_chaos_soak(
+    experiment: str = "fig2",
+    preset: str = "tiny",
+    seed: int = 0,
+    spec: ChaosSpec = DEFAULT,
+    workdir=None,
+    unit_traces: int = 2,
+    n_workers: int = 3,
+    lease_seconds: float = 30.0,
+    max_attempts: int = 10,
+    max_rounds: int = 300,
+    serial_rows=None,
+    strict: bool = True,
+) -> ChaosSoakReport:
+    """One seeded chaos soak: fleet under fault injection vs. serial.
+
+    Submits ``experiment`` to a fresh broker under ``workdir``, then
+    round-robins ``n_workers`` virtual workers (each a real
+    :func:`fleet.work` pass on a skewed view of one virtual clock)
+    under ``spec``'s fault schedule until the fleet drains.  Two heal
+    steps run along the way, both part of the contract being tested:
+    attempt-exhausted units (chaos can legitimately burn a bounded
+    attempt budget) go back through ``retry_failed``, and
+    checksum-failed results are re-queued by ``verify_results``.
+
+    Finally ``collect`` folds the fleet's results and the report says
+    whether they are bit-identical to ``serial_rows`` (computed here
+    when not supplied).  With ``strict`` (default) a non-draining or
+    diverging soak raises :class:`ChaosError`; tests pass
+    ``strict=False`` to inspect the report.
+    """
+    if workdir is None:
+        raise ChaosError("run_chaos_soak needs a workdir for the broker file")
+    if n_workers < 1:
+        raise ChaosError(f"n_workers must be >= 1, got {n_workers}")
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    # A fresh broker per soak, even when one workdir hosts the same
+    # seed under several specs (brokers refuse to be resubmitted).
+    stem = f"chaos-{experiment}-{preset}-{seed}"
+    broker_path = workdir / f"{stem}.db"
+    attempt = 0
+    while broker_path.exists():
+        attempt += 1
+        broker_path = workdir / f"{stem}-{attempt}.db"
+
+    clock = ChaosClock()
+    policy = ChaosPolicy(seed, spec, clock)
+    policy.lease_seconds = lease_seconds
+
+    fleet.submit(
+        broker_path, experiment, preset=preset, unit_traces=unit_traces,
+        lease_seconds=lease_seconds, max_attempts=max_attempts,
+    )
+
+    crashes = completed = stale = io_retries = 0
+    healed_failed = corrupt_requeued = 0
+    rounds = 0
+    drained = False
+    while rounds < max_rounds:
+        rounds += 1
+        for index in range(n_workers):
+            worker_id = f"chaos-w{index}"
+            try:
+                report = fleet.work(
+                    broker_path,
+                    worker_id=worker_id,
+                    max_units=1,
+                    wait=False,
+                    sleep=clock.sleep,
+                    clock=policy.worker_clock(worker_id),
+                    heartbeat_seconds=0,  # virtual clock: no ticker thread
+                    retry=policy.retry,
+                    fault_hook=policy.broker_fault,
+                    on_claim=policy.on_claim,
+                    on_executed=policy.on_executed,
+                    transform_wire=policy.corrupt_wire,
+                )
+            except WorkerCrash:
+                crashes += 1
+            except sqlite3.OperationalError:
+                # Backoff budget exhausted under injected contention:
+                # the worker dies, the fleet survives (that's the test).
+                crashes += 1
+            else:
+                completed += report.completed
+                stale += report.stale
+                io_retries += report.io_retries
+            clock.advance(policy.step_seconds())
+        with Broker.open(broker_path) as broker:
+            counts = broker.counts()
+            if counts.pending == 0 and counts.leased == 0:
+                if counts.failed:
+                    healed_failed += broker.retry_failed()
+                    continue
+                requeued = broker.verify_results()
+                if requeued:
+                    corrupt_requeued += len(requeued)
+                    continue
+                drained = True
+        if drained:
+            break
+        # Let outstanding (crashed workers') leases expire.
+        clock.advance(policy.step_seconds())
+
+    identical = False
+    if drained:
+        if serial_rows is None:
+            serial_rows = run_experiment(experiment, preset=preset).rows
+        collected = fleet.collect(broker_path)
+        identical = collected.rows == serial_rows
+
+    report = ChaosSoakReport(
+        experiment=experiment, preset=preset, seed=seed,
+        drained=drained, identical=identical, rounds=rounds,
+        crashes=crashes, completed=completed, stale=stale,
+        io_retries=io_retries, healed_failed=healed_failed,
+        corrupt_requeued=corrupt_requeued, events=dict(policy.events),
+    )
+    if strict and not report.ok:
+        raise ChaosError(f"chaos soak failed: {report.summary()}")
+    return report
+
+
+def run_chaos_suite(
+    experiment: str = "fig2",
+    preset: str = "tiny",
+    seeds=range(3),
+    spec: ChaosSpec = DEFAULT,
+    workdir=None,
+    strict: bool = True,
+    echo: Optional[Callable[[str], None]] = None,
+    **soak_kwargs,
+) -> List[ChaosSoakReport]:
+    """Run :func:`run_chaos_soak` across seeds with one shared serial
+    baseline; returns the per-seed reports (``echo`` streams summaries,
+    e.g. ``print`` from the CLI)."""
+    serial_rows = run_experiment(experiment, preset=preset).rows
+    reports = []
+    for seed in seeds:
+        report = run_chaos_soak(
+            experiment=experiment, preset=preset, seed=seed, spec=spec,
+            workdir=workdir, serial_rows=serial_rows, strict=strict,
+            **soak_kwargs,
+        )
+        if echo is not None:
+            echo(report.summary())
+        reports.append(report)
+    return reports
+
+
+__all__ = [
+    "DEFAULT",
+    "HEAVY",
+    "LIGHT",
+    "PROFILES",
+    "ChaosClock",
+    "ChaosPolicy",
+    "ChaosSoakReport",
+    "ChaosSpec",
+    "WorkerCrash",
+    "run_chaos_soak",
+    "run_chaos_suite",
+]

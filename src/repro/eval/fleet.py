@@ -24,8 +24,25 @@ identical to what the dead worker would have produced.  Workers with
 nothing claimable but leases still outstanding sleep until the next
 lease expiry, so a fleet of N workers survives any N-1 of them
 crashing.  A unit that keeps *failing* (the experiment itself raises)
-moves to ``failed`` after the broker's ``max_attempts`` and
+moves to ``failed`` after the broker's ``max_attempts`` - the last
+traceback is stored on the unit row (``fleet status --detail``) - and
 :func:`collect` refuses to produce a result until someone intervenes.
+
+Hardening (exercised by :mod:`repro.eval.chaos`):
+
+* **Heartbeats**: while a unit executes, a background ticker renews
+  the lease every ``heartbeat_seconds`` (default: a third of the
+  lease), so a unit legitimately running many multiples of
+  ``lease_seconds`` is never re-leased out from under a live worker
+  and never double-counted.  A worker that truly dies stops
+  heartbeating and the ordinary expiry path takes over.
+* **Backoff**: every broker operation goes through a
+  :class:`~repro.retry.RetryPolicy` (exponential backoff + jitter), so
+  transient ``database is locked`` contention costs milliseconds, not
+  a dead worker.
+* **Checksums**: the worker checksums each result payload before it
+  crosses the wire; :func:`collect` audits stored payloads and
+  re-queues corrupted units instead of folding garbage.
 
 Cost model matches sharding: every worker re-runs the spec builder and
 pays trace generation per *point* it touches (amortized across that
@@ -38,14 +55,18 @@ from __future__ import annotations
 
 import os
 import socket
+import threading
 import time
+import traceback
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
-from ..errors import ExperimentError
+from ..errors import ExperimentError, FleetError
+from ..retry import DEFAULT_BROKER_RETRY, RetryPolicy
 from .broker import Broker, FleetCounts, LeasedUnit
 from .runner import RunnerConfig
+from .serialize import encode_unit_payload
 from .spec import (
     ExperimentResult,
     build_experiment_spec,
@@ -81,10 +102,95 @@ class WorkerReport:
     completed: int
     failed: int
     stale: int  #: completions discarded because the lease had expired
+    renewed: int = 0  #: successful mid-unit heartbeat lease renewals
+    io_retries: int = 0  #: transient broker faults absorbed by backoff
 
 
 def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+#: Units longer than this fraction of the lease get their lease renewed
+#: by the heartbeat ticker (``heartbeat_seconds=None`` resolves to
+#: ``lease_seconds * HEARTBEAT_FRACTION``).
+HEARTBEAT_FRACTION = 1.0 / 3.0
+
+
+class _HeartbeatTicker:
+    """Renew one unit's lease from a background thread while it runs.
+
+    The ticker opens its own broker connection (SQLite connections are
+    per-thread) and renews every ``interval`` seconds until stopped.  A
+    renewal that comes back ``None`` means the lease was lost (expired
+    and reaped, or re-leased) - the ticker stops; the worker's eventual
+    ``complete`` will be discarded as stale, which is the correct
+    outcome.  Renewal errors are swallowed: a transient broker fault
+    must not kill the unit mid-flight, and if renewal keeps failing the
+    lease simply expires and the ordinary crash path takes over.
+    """
+
+    def __init__(
+        self,
+        broker_path,
+        unit_id: int,
+        worker: str,
+        interval: float,
+        clock: Callable[[], float] = time.time,
+        retry: RetryPolicy = DEFAULT_BROKER_RETRY,
+    ) -> None:
+        self._broker_path = broker_path
+        self._unit_id = unit_id
+        self._worker = worker
+        self._interval = interval
+        self._clock = clock
+        self._retry = retry
+        self._stop = threading.Event()
+        self.lost = False
+        self.renewals = 0
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{unit_id}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            broker = Broker.open(self._broker_path)
+        except Exception:  # noqa: BLE001 - see class docstring
+            return
+        try:
+            rng = self._retry.make_rng()
+            while not self._stop.wait(self._interval):
+                try:
+                    expiry = self._retry.call(
+                        broker.renew, self._unit_id, self._worker,
+                        now=self._clock(), rng=rng,
+                    )
+                except Exception:  # noqa: BLE001 - keep the unit alive
+                    continue
+                if expiry is None:
+                    self.lost = True
+                    return
+                self.renewals += 1
+        finally:
+            broker.close()
+
+    def stop(self) -> int:
+        """Stop the ticker and return how many renewals it made."""
+        self._stop.set()
+        self._thread.join(timeout=30.0)
+        return self.renewals
+
+
+def _format_unit_error(exc: BaseException, limit: int = 8000) -> str:
+    """The traceback a failed unit stores for ``fleet status --detail``."""
+    text = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    ).rstrip()
+    if len(text) > limit:
+        text = "...\n" + text[-limit:]
+    return text
 
 
 def submit(
@@ -158,6 +264,12 @@ def work(
     wait: bool = True,
     on_claim: Optional[Callable[[LeasedUnit], None]] = None,
     sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.time,
+    heartbeat_seconds: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_hook: Optional[Callable[[str], None]] = None,
+    on_executed: Optional[Callable[[LeasedUnit], None]] = None,
+    transform_wire: Optional[Callable[[LeasedUnit, str], str]] = None,
 ) -> WorkerReport:
     """Drain work units from a broker until none are claimable.
 
@@ -172,16 +284,43 @@ def work(
     while other leases are outstanding sleeps until the earliest lease
     expiry and retries - this is what lets a surviving worker pick up a
     crashed peer's unit.  ``max_units`` bounds how many units this call
-    processes (testing / incremental draining).  ``on_claim`` runs
-    after each successful claim, before execution (tests use it to
-    simulate stalls and crashes).
+    processes (testing / incremental draining).
+
+    Robustness knobs: ``heartbeat_seconds`` paces the mid-unit lease
+    renewal ticker (``None`` = a third of the broker's lease, ``<= 0``
+    disables); ``retry`` is the backoff policy wrapped around every
+    broker operation; ``clock``/``sleep`` are injectable for
+    deterministic (chaos) tests.
+
+    Fault-injection seams, in loop order: ``on_claim(leased)`` runs
+    after each claim, before execution (simulated crash-at-claim /
+    stall); ``on_executed(leased)`` runs after execution and after the
+    heartbeat ticker stopped, before completion (simulated mid-unit
+    crash / pre-completion stall); ``transform_wire(leased, text)``
+    may damage the serialized payload after its checksum was taken
+    (simulated wire corruption).  An exception from a seam propagates
+    out of ``work`` with the lease still held - exactly what a real
+    crash leaves behind.
     """
     worker = worker_id or default_worker_id()
     if runner is not None and runner.shard is not None:
         raise ExperimentError("fleet work cannot nest inside another shard")
     base = runner or RunnerConfig()
-    completed = failed = stale = 0
-    with Broker.open(broker_path) as broker:
+    policy = retry or DEFAULT_BROKER_RETRY
+    retry_rng = policy.make_rng()
+    completed = failed = stale = renewed = io_retries = 0
+
+    def _count_retry(attempt: int, exc: BaseException) -> None:
+        nonlocal io_retries
+        io_retries += 1
+
+    def _io(fn, *args, **kwargs):
+        return policy.call(
+            fn, *args, sleep=sleep, rng=retry_rng, on_retry=_count_retry,
+            **kwargs,
+        )
+
+    with Broker.open(broker_path, fault_hook=fault_hook) as broker:
         meta = broker.experiment_meta()
         submitted_plan = broker.plan()
         spec = _spec_from_meta(meta)
@@ -193,21 +332,33 @@ def work(
                 f"submitted plan ({len(submitted_plan)} call(s)); worker "
                 "and submitter must run matching checkouts"
             )
+        heartbeat = (
+            broker.lease_seconds * HEARTBEAT_FRACTION
+            if heartbeat_seconds is None
+            else heartbeat_seconds
+        )
         point_cache: Dict = {}
         while max_units is None or completed + failed < max_units:
-            leased = broker.claim(worker)
+            leased = _io(broker.claim, worker, now=clock())
             if leased is None:
-                counts = broker.counts()
+                counts = _io(broker.counts)
                 if counts.finished or not wait:
                     break
-                expiry = broker.next_lease_expiry()
+                expiry = _io(broker.next_lease_expiry)
                 delay = 0.25 if expiry is None else max(
-                    0.05, expiry - time.time() + 0.05
+                    0.05, expiry - clock() + 0.05
                 )
                 sleep(delay)
                 continue
             if on_claim is not None:
                 on_claim(leased)
+            ticker = None
+            if heartbeat > 0:
+                ticker = _HeartbeatTicker(
+                    broker.path, leased.unit_id, worker, heartbeat,
+                    clock=clock, retry=policy,
+                )
+                ticker.start()
             try:
                 recorder = SingleUnitRecorder(leased.unit, submitted_plan)
                 run_spec(
@@ -216,16 +367,31 @@ def work(
                 )
                 payload = recorder.unit_payload()
             except Exception as exc:  # noqa: BLE001 - any unit failure retries
-                outcome = broker.fail(leased.unit_id, worker, str(exc))
+                outcome = _io(
+                    broker.fail, leased.unit_id, worker,
+                    _format_unit_error(exc), now=clock(),
+                )
                 if outcome is not None:
                     failed += 1
                 continue
-            if broker.complete(leased.unit_id, worker, payload):
+            finally:
+                if ticker is not None:
+                    renewed += ticker.stop()
+            if on_executed is not None:
+                on_executed(leased)
+            wire, checksum = encode_unit_payload(payload)
+            if transform_wire is not None:
+                wire = transform_wire(leased, wire)
+            if _io(
+                broker.complete, leased.unit_id, worker,
+                now=clock(), wire=wire, checksum=checksum,
+            ):
                 completed += 1
             else:
                 stale += 1
     return WorkerReport(
-        worker=worker, completed=completed, failed=failed, stale=stale
+        worker=worker, completed=completed, failed=failed, stale=stale,
+        renewed=renewed, io_retries=io_retries,
     )
 
 
@@ -249,11 +415,16 @@ def _progress(counts: FleetCounts, completion_times) -> Dict[str, object]:
         "rate_per_s": None,
         "eta_s": None,
     }
+    # Guard the rate/ETA derivation: with fewer than two completions,
+    # or completions carrying identical timestamps (coarse clocks,
+    # injected test clocks), there is no measurable span - report null
+    # rather than a division blow-up or an infinite ETA.
     window = completion_times[-PROGRESS_WINDOW:]
     if len(window) >= 2 and window[-1] > window[0]:
         rate = (len(window) - 1) / (window[-1] - window[0])
-        out["rate_per_s"] = rate
-        out["eta_s"] = out["remaining"] / rate
+        if rate > 0:
+            out["rate_per_s"] = rate
+            out["eta_s"] = out["remaining"] / rate
     return out
 
 
@@ -288,12 +459,24 @@ def collect(
     :class:`UnitReplayer` installed - the identical fold ``merge``
     uses, streaming recorded results through the runner's own
     accumulators - so the collected metrics are bit-identical to a
-    serial run.  Refuses unfinished fleets and fleets with permanently
+    serial run.  Before any folding, every stored payload is
+    checksum-audited (:meth:`Broker.verify_results`): corrupted
+    results are discarded and their units re-queued rather than folded
+    as garbage.  Refuses unfinished fleets and fleets with permanently
     failed units, with counts in the error.
     """
     if runner is not None and runner.shard is not None:
         raise ExperimentError("fleet collect cannot nest inside another shard")
     with Broker.open(broker_path) as broker:
+        corrupted = broker.verify_results()
+        if corrupted:
+            shown = ", ".join(str(u) for u in corrupted[:5])
+            raise FleetError(
+                f"{len(corrupted)} result payload(s) failed their checksum "
+                f"(unit id(s) {shown}); the corrupted results were discarded "
+                "and the units re-queued - run more workers, then collect "
+                "again"
+            )
         counts = broker.counts()
         if counts.failed:
             first_id, first_error = broker.errors()[0]
@@ -322,10 +505,12 @@ def collect(
 
 __all__ = [
     "FleetCounts",
+    "HEARTBEAT_FRACTION",
     "SubmitReport",
     "WorkerReport",
     "collect",
     "default_worker_id",
+    "retry",
     "status",
     "submit",
     "work",

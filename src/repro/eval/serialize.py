@@ -39,7 +39,9 @@ Every decoder validates the payload shape and raises
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 from ..types import Prediction
@@ -50,6 +52,28 @@ from .metrics import AggregateMetrics, TraceMetrics
 #: (and the shard/broker layers on top of it) produces; checked on
 #: decode.  Bump on any change to the wire layouts below.
 SCHEMA_VERSION = 2
+
+
+def payload_checksum(text: str) -> str:
+    """Checksum of a serialized payload (hex, stable across platforms).
+
+    SHA-256 truncated to 16 hex chars: collision-safe against the
+    random corruption it guards (bit flips, truncation, torn writes),
+    cheap to store beside every broker result row.
+    """
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def encode_unit_payload(payload: Dict) -> Tuple[str, str]:
+    """Serialize a unit-result payload for transport: ``(text, checksum)``.
+
+    The checksum is computed over the exact serialized text, *before*
+    the text crosses any wire or lands in broker storage, so any
+    damage in between is detectable by re-hashing the stored text
+    (:meth:`repro.eval.broker.Broker.verify_results`).
+    """
+    text = json.dumps(payload)
+    return text, payload_checksum(text)
 
 
 def check_schema_version(payload, what: str) -> None:

@@ -23,6 +23,20 @@ Detection latency is derived by :func:`incident_latencies`: an incident
 is a maximal run of cycles whose live injection has non-empty ground
 truth, and its latency is the time from incident onset to the first
 cycle whose prediction names at least one truly-failed component.
+
+Graceful degradation: a monitor built with ``cycle_budget`` (seconds,
+per cycle) sheds accuracy instead of falling behind the stream.  After
+ingest it checks the budget and walks a ladder - full localization
+when there is time; a warm-started greedy pass in place of a Gibbs
+chain when past half the budget; carrying the previous hypothesis
+outright (skipping localization, window and warm state still
+maintained) when the budget is spent.  :meth:`StreamMonitor.pump`
+applies the same idea to backlog: when more chunks arrive than fit the
+window, the oldest are shed, the middles are folded into the window
+without localizing (coalesced), and only the newest chunk gets a full
+cycle.  Every :class:`CycleReport` carries ``degraded`` /
+``degrade_reason`` / ``shed_chunks`` / ``coalesced_chunks`` so an
+operator can see exactly which cycles ran in reduced-fidelity mode.
 """
 
 from __future__ import annotations
@@ -38,6 +52,7 @@ from ..core.flock import FlockInference
 from ..core.flock_fast import DeltaContrib, VectorJleState
 from ..core.gibbs import GibbsInference
 from ..core.window import WindowedProblem
+from ..errors import ExperimentError
 from ..simulation.failures import PER_FLOW
 from ..simulation.stream import StreamChunk
 from ..telemetry.inputs import build_observation_batch
@@ -62,6 +77,19 @@ class CycleReport:
     churn: int
     build_seconds: float
     localize_seconds: float
+    #: True when this cycle ran in any reduced-fidelity mode (budget
+    #: ladder fired, or backlog was shed/coalesced on the way here).
+    degraded: bool = False
+    #: Which budget rung fired: ``None`` (full localization),
+    #: ``"greedy"`` (warm greedy in place of a Gibbs chain), or
+    #: ``"carried"`` (previous hypothesis reused, localization skipped).
+    degrade_reason: Optional[str] = None
+    #: Backlogged chunks dropped outright before this cycle.
+    shed_chunks: int = 0
+    #: Backlogged chunks folded into the window without localizing.
+    coalesced_chunks: int = 0
+    #: The monitor's per-cycle budget (``None`` when unbudgeted).
+    budget_seconds: Optional[float] = None
 
 
 def incident_latencies(reports: List[CycleReport]) -> List[Dict[str, object]]:
@@ -117,11 +145,19 @@ class StreamMonitor:
         seed: int = 0,
         compressed: bool = True,
         setup: Optional[SchemeSetup] = None,
+        cycle_budget: Optional[float] = None,
+        clock=time.perf_counter,
     ) -> None:
+        if cycle_budget is not None and cycle_budget <= 0:
+            raise ExperimentError(
+                f"cycle_budget must be positive, got {cycle_budget}"
+            )
         self.topology = topology
         self.setup = setup if setup is not None else make_setup(scheme)
         self.window = window
         self.seed = seed
+        self.cycle_budget = cycle_budget
+        self.clock = clock
         localizer = self.setup.localizer
         self.warm = warm and isinstance(
             localizer, (FlockInference, GibbsInference)
@@ -138,6 +174,9 @@ class StreamMonitor:
         # rebase when the chunk expires and the hypothesis held still.
         self._contribs: Deque[Optional[DeltaContrib]] = deque()
         self._prev_components: frozenset = frozenset()
+        self._prev_prediction: Optional[Prediction] = None
+        #: Running count of degraded cycles (for run summaries).
+        self.degraded_cycles = 0
 
     def _telemetry_for(self, chunk: StreamChunk):
         config = self.setup.telemetry
@@ -145,20 +184,25 @@ class StreamMonitor:
             return replace(config, analysis=PER_FLOW)
         return config
 
-    def step(self, chunk: StreamChunk) -> CycleReport:
-        """Fold one chunk in and re-localize."""
+    def _ingest(self, chunk: StreamChunk):
+        """Fold one chunk into the window (and warm state), no localize.
+
+        Returns ``(obs, problem, state, build_seconds)`` where ``state``
+        is the rebased :class:`VectorJleState` (``None`` for cold
+        schemes).  Window bookkeeping and warm-state maintenance happen
+        here unconditionally - degraded cycles skip *localization*,
+        never state upkeep, so the next full cycle starts from a
+        correct window.
+        """
         config = self._telemetry_for(chunk)
         rng = np.random.default_rng(self.seed + 0x5EED + chunk.index)
-        t0 = time.perf_counter()
+        t0 = self.clock()
         obs = build_observation_batch(chunk.batch, config, rng)
         update = self.windowed.append(obs)
         problem = update.problem
-        build_seconds = time.perf_counter() - t0
-
-        localizer = self.setup.localizer
-        t0 = time.perf_counter()
+        state: Optional[VectorJleState] = None
         if self.warm:
-            params = localizer.params
+            params = self.setup.localizer.params
             expired_contrib = (
                 self._contribs.popleft()
                 if len(self._contribs) >= self.window else None
@@ -176,15 +220,53 @@ class StreamMonitor:
                     removed_contrib=expired_contrib,
                 )
             self._contribs.append(state.added_contrib)
-            if isinstance(localizer, GibbsInference):
-                prediction = localizer.localize(problem, initial_state=state)
-            else:
-                prediction = localizer.localize(problem, warm_state=state)
             self._state = state
-        else:
-            prediction = localizer.localize(problem)
-        localize_seconds = time.perf_counter() - t0
+        build_seconds = self.clock() - t0
+        return obs, problem, state, build_seconds
 
+    def _localize(self, problem, state, elapsed: float):
+        """Budget ladder: pick a localization mode for this cycle.
+
+        Returns ``(prediction, degrade_reason)``.  ``None`` reason is a
+        full localization; ``"greedy"`` swapped a Gibbs chain for a
+        warm greedy pass (past half budget); ``"carried"`` reused the
+        previous hypothesis outright (budget spent).
+        """
+        localizer = self.setup.localizer
+        budget = self.cycle_budget
+        if (
+            budget is not None
+            and elapsed >= budget
+            and self._prev_prediction is not None
+        ):
+            return self._prev_prediction, "carried"
+        if (
+            budget is not None
+            and elapsed >= 0.5 * budget
+            and state is not None
+            and isinstance(localizer, GibbsInference)
+        ):
+            fallback = FlockInference(localizer.params)
+            return fallback.localize(problem, warm_state=state), "greedy"
+        if state is not None:
+            if isinstance(localizer, GibbsInference):
+                return localizer.localize(problem, initial_state=state), None
+            return localizer.localize(problem, warm_state=state), None
+        return localizer.localize(problem), None
+
+    def _cycle(
+        self, chunk: StreamChunk, shed: int, coalesced: int, start: float
+    ) -> CycleReport:
+        obs, problem, state, build_seconds = self._ingest(chunk)
+        t0 = self.clock()
+        prediction, degrade_reason = self._localize(
+            problem, state, elapsed=t0 - start
+        )
+        localize_seconds = self.clock() - t0
+
+        degraded = degrade_reason is not None or shed > 0 or coalesced > 0
+        if degraded:
+            self.degraded_cycles += 1
         truth = frozenset(chunk.injection.ground_truth.failed_components)
         report = CycleReport(
             cycle=chunk.index,
@@ -198,10 +280,70 @@ class StreamMonitor:
             churn=len(prediction.components ^ self._prev_components),
             build_seconds=build_seconds,
             localize_seconds=localize_seconds,
+            degraded=degraded,
+            degrade_reason=degrade_reason,
+            shed_chunks=shed,
+            coalesced_chunks=coalesced,
+            budget_seconds=self.cycle_budget,
         )
         self._prev_components = prediction.components
+        self._prev_prediction = prediction
         return report
 
-    def run(self, chunks: Iterable[StreamChunk]) -> List[CycleReport]:
-        """Run the full ingest -> update -> localize loop."""
-        return [self.step(chunk) for chunk in chunks]
+    def step(self, chunk: StreamChunk) -> CycleReport:
+        """Fold one chunk in and re-localize (budget ladder applies)."""
+        return self._cycle(chunk, shed=0, coalesced=0, start=self.clock())
+
+    def pump(self, chunks: Iterable[StreamChunk]) -> CycleReport:
+        """Drain a backlog of chunks as one degraded cycle.
+
+        When ingest falls behind (a burst, or a slow previous cycle),
+        more than one chunk is waiting.  Folding each through a full
+        cycle would fall further behind, so: chunks beyond the window
+        are shed outright (they would leave the window before ever
+        being localized against), intermediate chunks are folded into
+        the window without localizing (coalesced), and only the newest
+        chunk gets a localization - itself subject to the budget
+        ladder.  The returned report is the newest chunk's, carrying
+        the shed/coalesced counts.
+        """
+        backlog = list(chunks)
+        if not backlog:
+            raise ExperimentError("pump needs at least one chunk")
+        start = self.clock()
+        shed = max(0, len(backlog) - self.window)
+        backlog = backlog[shed:]
+        for chunk in backlog[:-1]:
+            self._ingest(chunk)
+        return self._cycle(
+            backlog[-1], shed=shed, coalesced=len(backlog) - 1, start=start
+        )
+
+    def run(
+        self,
+        chunks: Iterable[StreamChunk],
+        arrivals: Optional[Iterable[int]] = None,
+    ) -> List[CycleReport]:
+        """Run the full ingest -> update -> localize loop.
+
+        ``arrivals`` optionally groups the chunk sequence into per-cycle
+        delivery counts (e.g. from
+        :meth:`repro.eval.chaos.ChaosPolicy.arrival_bursts`): each
+        group of more than one chunk goes through :meth:`pump` as a
+        burst.  Must sum to the number of chunks.
+        """
+        if arrivals is None:
+            return [self.step(chunk) for chunk in chunks]
+        stream = list(chunks)
+        schedule = [int(n) for n in arrivals]
+        if any(n < 1 for n in schedule) or sum(schedule) != len(stream):
+            raise ExperimentError(
+                f"arrival schedule {schedule} does not cover "
+                f"{len(stream)} chunk(s)"
+            )
+        reports: List[CycleReport] = []
+        cursor = 0
+        for count in schedule:
+            reports.append(self.pump(stream[cursor:cursor + count]))
+            cursor += count
+        return reports

@@ -1,0 +1,126 @@
+"""Shared retry policy: bounded exponential backoff with jitter.
+
+Transient faults - ``sqlite3.OperationalError: database is locked``
+under multi-process broker contention, a claim poll racing a reap, an
+NFS hiccup - should cost a short, bounded wait, not a dead worker.
+:class:`RetryPolicy` is the one knob for that behavior: the fleet
+worker wraps every broker operation (claim, renew, complete, fail,
+counts) in :meth:`RetryPolicy.call`, and the chaos harness
+(:mod:`repro.eval.chaos`) injects exactly the faults this policy is
+expected to absorb.
+
+Design points:
+
+* **Deterministic jitter.**  The jitter stream comes from a seeded
+  ``random.Random``, so a chaos soak that injects locked-database
+  faults replays the same backoff schedule for the same seed.  Pass
+  ``rng=None`` (default) for an unseeded production stream.
+* **Injectable sleep.**  ``call`` takes the sleep function, so a
+  virtual-clock harness advances simulated time instead of blocking.
+* **Bounded.**  After ``attempts`` tries the last exception propagates
+  unchanged; the policy never converts an error, only delays it.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+from .errors import ReproError
+
+#: Exception types worth retrying by default: SQLite's transient
+#: "database is locked" / "database table is locked" both surface as
+#: OperationalError.  Programming errors (IntegrityError etc.) and
+#: :class:`ReproError` never retry.
+DEFAULT_TRANSIENT: Tuple[Type[BaseException], ...] = (sqlite3.OperationalError,)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter over a bounded attempt budget.
+
+    ``delay(k)`` for attempt ``k`` (0-based) is
+    ``min(base_delay * multiplier**k, max_delay)`` scaled by a jitter
+    factor drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+    """
+
+    attempts: int = 6
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    transient: Tuple[Type[BaseException], ...] = DEFAULT_TRANSIENT
+    seed: Optional[int] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ReproError(f"retry attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ReproError(
+                f"retry multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ReproError(
+                f"retry jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def make_rng(self) -> random.Random:
+        """A fresh jitter stream (seeded when the policy is seeded)."""
+        return random.Random(self.seed)
+
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """The backoff delays between attempts (``attempts - 1`` of them)."""
+        rng = rng if rng is not None else self.make_rng()
+        for k in range(self.attempts - 1):
+            raw = min(self.base_delay * self.multiplier ** k, self.max_delay)
+            scale = 1.0 if self.jitter == 0 else rng.uniform(
+                1.0 - self.jitter, 1.0 + self.jitter
+            )
+            yield raw * scale
+
+    def is_transient(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.transient) and not isinstance(
+            exc, ReproError
+        )
+
+    def call(
+        self,
+        fn: Callable,
+        *args,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        **kwargs,
+    ):
+        """Invoke ``fn`` with retries on transient exceptions.
+
+        ``on_retry(attempt, exc)`` observes every absorbed fault (the
+        worker counts them); the final failure propagates unchanged.
+        A caller-supplied ``rng`` lets one jitter stream span many
+        calls (a worker's whole run) instead of restarting per call.
+        """
+        rng = rng if rng is not None else self.make_rng()
+        delays = self.delays(rng)
+        for attempt in range(self.attempts):
+            try:
+                return fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - filtered below
+                if attempt == self.attempts - 1 or not self.is_transient(exc):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(next(delays))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: The fleet worker's default stance toward broker I/O: ~6 tries over a
+#: couple of seconds absorbs WAL-mode lock contention without masking a
+#: genuinely wedged database for long.
+DEFAULT_BROKER_RETRY = RetryPolicy()
+
+__all__ = ["DEFAULT_BROKER_RETRY", "DEFAULT_TRANSIENT", "RetryPolicy"]

@@ -214,9 +214,13 @@ class TestBroker:
             again = broker.claim("w1", now=111.0)
             assert again.unit_id == first.unit_id
             # The original worker wakes up late: its completion is dropped.
-            assert not broker.complete(first.unit_id, "w0", {"v": SCHEMA_VERSION, "u": []})
+            assert not broker.complete(
+                first.unit_id, "w0", {"v": SCHEMA_VERSION, "u": []}, now=112.0
+            )
             assert broker.counts().done == 0
-            assert broker.complete(again.unit_id, "w1", {"v": SCHEMA_VERSION, "u": []})
+            assert broker.complete(
+                again.unit_id, "w1", {"v": SCHEMA_VERSION, "u": []}, now=115.0
+            )
             assert broker.counts().done == 1
             assert len(broker.results()) == 1
 
