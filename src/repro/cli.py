@@ -193,11 +193,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-attempts", type=int, default=3, metavar="N",
         help="claims per unit before it is marked failed (default: 3)",
     )
+    fsubmit.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="experiment name inside the broker (default: the registry "
+             "experiment name); one broker holds many named experiments",
+    )
+    fsubmit.add_argument(
+        "--priority", type=int, default=0, metavar="P",
+        help="scheduling priority; workers drain higher priorities first "
+             "(default: 0)",
+    )
+    fsubmit.add_argument(
+        "--if-exists", choices=("fail", "resume"), default="fail",
+        help="what a re-run against an existing experiment name does: "
+             "'fail' (default; never silently double-enqueue) or "
+             "'resume' (finish an interrupted submission with the same "
+             "plan; a different plan still fails)",
+    )
 
     fwork = fsub.add_parser(
         "work", help="pull and execute work units until the broker drains"
     )
     fwork.add_argument("broker", help="path to an existing broker database")
+    fwork.add_argument(
+        "--experiment", default=None, metavar="NAME",
+        help="drain only this experiment (default: all, by priority)",
+    )
     fwork.add_argument(
         "--worker-id", default=None, metavar="ID",
         help="stable worker identity (default: hostname-pid)",
@@ -236,16 +257,34 @@ def build_parser() -> argparse.ArgumentParser:
     fstatus.add_argument(
         "--units", action="store_true", help="also list every unit's row"
     )
+    fstatus.add_argument(
+        "--experiment", default=None, metavar="NAME",
+        help="show only this experiment (default: all)",
+    )
+    fstatus.add_argument(
+        "--json", action="store_true",
+        help="emit the full status (per-experiment counts, ETA, unit "
+             "errors) as one JSON object for external monitors",
+    )
 
     fretry = fsub.add_parser(
         "retry", help="re-queue permanently-failed units after a fix"
     )
     fretry.add_argument("broker", help="path to an existing broker database")
+    fretry.add_argument(
+        "--experiment", default=None, metavar="NAME",
+        help="re-queue only this experiment's failed units (default: all)",
+    )
 
     fcollect = fsub.add_parser(
         "collect", help="fold a finished fleet into the experiment result"
     )
     fcollect.add_argument("broker", help="path to an existing broker database")
+    fcollect.add_argument(
+        "--experiment", default=None, metavar="NAME",
+        help="which experiment to collect (default: the broker's sole "
+             "experiment; required when it holds several)",
+    )
     fcollect.add_argument(
         "--out", default=None, metavar="PATH",
         help="also write the collected ExperimentResult as JSON",
@@ -264,7 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a scenario as a chunk stream and monitor it live",
     )
     stream.add_argument(
-        "scenario", help="a registered failure scenario (see 'list')"
+        "scenario", nargs="?", default=None,
+        help="a registered failure scenario (see 'list'); omitted "
+             "when resuming from a checkpoint",
     )
     stream.add_argument("--preset", choices=experiments.PRESETS, default="ci")
     stream.add_argument("--seed", type=int, default=61)
@@ -310,6 +351,22 @@ def build_parser() -> argparse.ArgumentParser:
              "cycles degrade gracefully (warm greedy fallback, then "
              "carrying the previous hypothesis) instead of falling "
              "behind the stream",
+    )
+    stream.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a resumable checkpoint to PATH as cycles complete "
+             "(atomic write, checksummed)",
+    )
+    stream.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint cadence in cycles (default: every cycle)",
+    )
+    stream.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume a crashed run from a checkpoint file; the "
+             "scenario and stream parameters come from the checkpoint "
+             "and the remaining cycles reproduce the uninterrupted "
+             "run bit for bit",
     )
 
     chaos = sub.add_parser(
@@ -547,11 +604,22 @@ def _fleet(args) -> int:
             unit_traces=args.unit_traces,
             lease_seconds=args.lease_seconds,
             max_attempts=args.max_attempts,
+            name=args.name,
+            priority=args.priority,
+            if_exists=args.if_exists,
+        )
+        verb = "resumed" if report.resumed else "submitted"
+        named = (
+            f" as {report.name!r}" if report.name != report.experiment else ""
         )
         print(
-            f"submitted {report.experiment} ({report.preset}): "
+            f"{verb} {report.experiment} ({report.preset}){named}: "
             f"{report.n_units} work unit(s) over {report.n_calls} grid "
             f"call(s) -> {report.path}"
+            + (
+                f" ({report.n_enqueued} newly enqueued)"
+                if report.resumed else ""
+            )
         )
         return 0
     if args.fleet_command == "work":
@@ -565,6 +633,7 @@ def _fleet(args) -> int:
             runner=_runner_from_args(args),
             max_units=args.max_units,
             wait=not args.no_wait,
+            experiment=args.experiment,
             heartbeat_seconds=args.heartbeat_seconds,
         )
         line = (
@@ -578,29 +647,41 @@ def _fleet(args) -> int:
         print(line)
         return 0
     if args.fleet_command == "status":
-        state = fleet.status(args.broker, detail=args.units)
-        counts = state["counts"]
-        total = sum(counts.values())
-        scheme = f", scheme {state['scheme']}" if state.get("scheme") else ""
-        print(
-            f"{state['experiment']} ({state['preset']}{scheme}): "
-            f"{total} unit(s): "
-            + ", ".join(f"{v} {k}" for k, v in counts.items())
+        state = fleet.status(
+            args.broker, detail=args.units, experiment=args.experiment
         )
-        progress = state["progress"]
-        if progress["total"]:
-            pct = 100.0 * progress["done"] / progress["total"]
-            line = (
-                f"progress {progress['done']}/{progress['total']} "
-                f"unit(s) ({pct:.0f}%)"
+        if args.json:
+            print(json.dumps(state, indent=2))
+            return 0
+        for exp in state["experiments"]:
+            counts = exp["counts"]
+            total = sum(counts.values())
+            scheme = f", scheme {exp['scheme']}" if exp.get("scheme") else ""
+            prio = f", priority {exp['priority']}" if exp["priority"] else ""
+            journal = "" if exp["state"] == "ready" else f" [{exp['state']}]"
+            named = (
+                f"{exp['name']}: " if exp["name"] != exp["experiment"] else ""
             )
-            if progress["rate_per_s"] is not None:
-                line += f", {progress['rate_per_s']:.2f} unit/s"
-                if progress["remaining"]:
-                    line += f", ETA ~{progress['eta_s']:.0f}s"
-            print(line)
-        for unit_id, error in state["errors"]:
-            print(f"  unit {unit_id} failed: {_error_headline(error)}")
+            print(
+                f"{named}{exp['experiment']} "
+                f"({exp['preset']}{scheme}{prio}){journal}: "
+                f"{total} unit(s): "
+                + ", ".join(f"{v} {k}" for k, v in counts.items())
+            )
+            progress = exp["progress"]
+            if progress["total"]:
+                pct = 100.0 * progress["done"] / progress["total"]
+                line = (
+                    f"progress {progress['done']}/{progress['total']} "
+                    f"unit(s) ({pct:.0f}%)"
+                )
+                if progress["rate_per_s"] is not None:
+                    line += f", {progress['rate_per_s']:.2f} unit/s"
+                    if progress["remaining"]:
+                        line += f", ETA ~{progress['eta_s']:.0f}s"
+                print(line)
+            for unit_id, error in exp["errors"]:
+                print(f"  unit {unit_id} failed: {_error_headline(error)}")
         if args.units:
             for row in state["units"]:
                 holder = f" worker={row['worker']}" if row["worker"] else ""
@@ -614,11 +695,11 @@ def _fleet(args) -> int:
                 print(line)
         return 0
     if args.fleet_command == "retry":
-        requeued = fleet.retry(args.broker)
+        requeued = fleet.retry(args.broker, experiment=args.experiment)
         print(f"re-queued {requeued} failed unit(s)")
         return 0
     if args.fleet_command == "collect":
-        result = fleet.collect(args.broker)
+        result = fleet.collect(args.broker, experiment=args.experiment)
         print_result(result)
         if args.out:
             print(f"\nwrote collected result to {save_result(result, args.out)}")
@@ -641,8 +722,8 @@ def _chaos(args) -> int:
         f"profile {args.profile}, {args.workers} virtual worker(s)"
     )
 
-    def _soak(workdir) -> List[chaos.ChaosSoakReport]:
-        return chaos.run_chaos_suite(
+    def _soak(workdir):
+        reports = chaos.run_chaos_suite(
             experiment=args.experiment,
             preset=args.preset,
             seeds=seeds,
@@ -655,6 +736,39 @@ def _chaos(args) -> int:
             strict=False,
             echo=lambda line: print(f"  {line}"),
         )
+        from .eval.spec import run_experiment
+
+        serial_lo = run_experiment(args.experiment, preset=args.preset).rows
+        for seed in seeds:
+            serial_hi = run_experiment(
+                args.experiment, preset=args.preset, seed=101 + seed,
+            ).rows
+            report = chaos.run_multi_soak(
+                experiment=args.experiment,
+                preset=args.preset,
+                seed=seed,
+                spec=spec,
+                workdir=workdir,
+                n_workers=args.workers,
+                unit_traces=args.unit_traces,
+                lease_seconds=args.lease_seconds,
+                max_attempts=args.max_attempts,
+                serial_rows_pair=(serial_lo, serial_hi),
+                strict=False,
+            )
+            print(f"  {report.summary()}")
+            reports.append(report)
+        for seed in seeds:
+            report = chaos.run_stream_soak(
+                preset=args.preset,
+                seed=seed,
+                spec=spec,
+                workdir=workdir,
+                strict=False,
+            )
+            print(f"  {report.summary()}")
+            reports.append(report)
+        return reports
 
     if args.workdir is not None:
         reports = _soak(args.workdir)
@@ -717,44 +831,111 @@ def _list(args) -> int:
 
 def _stream(args) -> int:
     """Replay a chunked incident and print per-cycle detections."""
+    from .errors import CheckpointError
+    from .eval.serialize import decode_stream_checkpoint
     from .eval.stream import StreamMonitor, incident_latencies
     from .routing.ecmp import EcmpRouting
     from .simulation.failures import make_scenario
     from .simulation.stream import replay_stream
 
-    scenario = make_scenario(args.scenario)
-    topology = experiments.standard_topology(args.preset)
-    routing = EcmpRouting(topology)
-    onset = args.onset if args.onset is not None else args.cycles // 3
-    chunks = replay_stream(
-        topology,
-        routing,
-        scenario,
-        seed=args.seed,
-        n_chunks=args.cycles,
-        flows_per_chunk=args.flows,
-        probes_per_chunk=args.probes,
-        onset_chunk=onset,
-        clear_chunk=args.clear,
-    )
-    monitor = StreamMonitor(
-        topology,
-        scheme=args.scheme,
-        window=args.window,
-        warm=not args.no_warm,
-        seed=args.seed,
-        cycle_budget=args.cycle_budget,
-    )
-    mode = "warm" if monitor.warm else "cold"
-    budget = (
-        f", budget {args.cycle_budget * 1e3:.0f}ms/cycle"
-        if args.cycle_budget is not None else ""
-    )
-    print(
-        f"streaming {args.scenario} on {args.preset} fabric "
-        f"({topology.n_links} links): {args.cycles} cycles, "
-        f"window {args.window}, scheme {monitor.setup.name} ({mode}){budget}"
-    )
+    def generate(meta, seed):
+        scenario = make_scenario(meta["scenario"])
+        topology = experiments.standard_topology(meta["preset"])
+        routing = EcmpRouting(topology)
+        chunks = replay_stream(
+            topology,
+            routing,
+            scenario,
+            seed=seed,
+            n_chunks=meta["cycles"],
+            flows_per_chunk=meta["flows"],
+            probes_per_chunk=meta["probes"],
+            onset_chunk=meta["onset"],
+            clear_chunk=meta["clear"],
+        )
+        return topology, list(chunks)
+
+    if args.resume is not None:
+        try:
+            with open(args.resume, "r", encoding="utf-8") as handle:
+                payload = decode_stream_checkpoint(handle.read())
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {args.resume}: {exc}"
+            ) from None
+        meta = payload["meta"]
+        for key in ("scenario", "preset", "cycles", "flows", "probes",
+                    "onset", "clear"):
+            if key not in meta:
+                raise CheckpointError(
+                    f"checkpoint {args.resume} has no {key!r} in its "
+                    "stream metadata; it was not written by "
+                    "'repro-flock stream --checkpoint'"
+                )
+        config = payload.get("config", {})
+        topology, chunks = generate(meta, seed=config.get("seed", 0))
+        monitor = StreamMonitor.from_checkpoint(
+            payload,
+            topology,
+            chunks,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint or args.resume,
+        )
+        chunks = [c for c in chunks if c.index >= monitor.cursor]
+        scenario_name = meta["scenario"]
+        preset = meta["preset"]
+        n_cycles = meta["cycles"]
+        print(
+            f"resuming {scenario_name} on {preset} fabric from "
+            f"{args.resume} at cycle {monitor.cursor} "
+            f"({monitor.cycles} cycle(s) already done, "
+            f"{len(chunks)} remaining)"
+        )
+    else:
+        if args.scenario is None:
+            raise CheckpointError(
+                "stream needs a scenario (or --resume PATH)"
+            )
+        onset = args.onset if args.onset is not None else args.cycles // 3
+        meta = {
+            "scenario": args.scenario,
+            "preset": args.preset,
+            "cycles": args.cycles,
+            "flows": args.flows,
+            "probes": args.probes,
+            "onset": onset,
+            "clear": args.clear,
+        }
+        topology, chunks = generate(meta, seed=args.seed)
+        monitor = StreamMonitor(
+            topology,
+            scheme=args.scheme,
+            window=args.window,
+            warm=not args.no_warm,
+            seed=args.seed,
+            cycle_budget=args.cycle_budget,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint,
+            checkpoint_meta=meta,
+        )
+        scenario_name = args.scenario
+        preset = args.preset
+        n_cycles = args.cycles
+        mode = "warm" if monitor.warm else "cold"
+        budget = (
+            f", budget {args.cycle_budget * 1e3:.0f}ms/cycle"
+            if args.cycle_budget is not None else ""
+        )
+        checkpointing = (
+            f", checkpointing to {args.checkpoint}"
+            if args.checkpoint else ""
+        )
+        print(
+            f"streaming {scenario_name} on {preset} fabric "
+            f"({topology.n_links} links): {n_cycles} cycles, "
+            f"window {args.window}, scheme {monitor.setup.name} "
+            f"({mode}){budget}{checkpointing}"
+        )
     reports = []
     for chunk in chunks:
         report = monitor.step(chunk)
@@ -774,10 +955,11 @@ def _stream(args) -> int:
             f"{ms:7.1f}ms  predicted: "
             f"{', '.join(names) if names else '-'}{degraded}"
         )
-    if args.cycle_budget is not None:
+    if monitor.cycle_budget is not None:
         print(
             f"{monitor.degraded_cycles} degraded cycle(s) of "
-            f"{len(reports)} under the {args.cycle_budget * 1e3:.0f}ms budget"
+            f"{monitor.cycles} under the "
+            f"{monitor.cycle_budget * 1e3:.0f}ms budget"
         )
     for inc in incident_latencies(reports):
         if inc["detected_cycle"] is None:

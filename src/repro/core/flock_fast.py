@@ -658,30 +658,7 @@ class VectorJleState(VectorArrays):
         VectorArrays.__init__(self, problem, prev.params, prev.kernels.name)
         self.hypothesis = set(prev.hypothesis)
         self.flips = prev.flips
-        self._path_nfailed = np.zeros(self.n_kernel_paths, dtype=np.int64)
-        self._set_e_nfailed = np.zeros(self.n_sets, dtype=np.int64)
-        for comp in sorted(self.hypothesis):
-            self._path_nfailed[self.comp_paths(comp)] += 1
-            esets = self.comp_esets(comp)
-            if len(esets):
-                self._set_e_nfailed[esets] += 1
-        if self.n_sets:
-            n_isets = len(self.iset_uoff) - 1
-            inst_iset = np.repeat(
-                np.arange(n_isets, dtype=np.int64), self.iset_ulen
-            )
-            iset_b = np.bincount(
-                inst_iset,
-                weights=self.iset_umult * (self._path_nfailed[self.iset_upids] > 0),
-                minlength=n_isets,
-            )
-            b = iset_b[self.iset_of_set]
-            # A failed endpoint component fails every member path.
-            full = self._set_e_nfailed > 0
-            b[full] = self.set_w[full]
-            self._set_b = b.astype(np.int64)
-        else:
-            self._set_b = np.zeros(0, dtype=np.int64)
+        self._rebuild_structural()
 
         # The normalized ll is a weighted per-flow sum (plus a prior
         # term that doesn't change under rebase), so it moves by the
@@ -716,6 +693,78 @@ class VectorJleState(VectorArrays):
             )
         self.delta = delta
         self.ll = ll
+        return self
+
+    def _rebuild_structural(self) -> None:
+        """Rebuild the failed-path / failed-member count arrays under
+        :attr:`hypothesis` on this state's problem numbering.
+
+        The structural state is a pure function of the hypothesis and
+        the problem's set structure - O(paths of H) scatter adds - so
+        both :meth:`rebase` (new window numbering) and :meth:`restore`
+        (checkpoint recovery) reconstruct it exactly rather than
+        serializing it.
+        """
+        self._path_nfailed = np.zeros(self.n_kernel_paths, dtype=np.int64)
+        self._set_e_nfailed = np.zeros(self.n_sets, dtype=np.int64)
+        for comp in sorted(self.hypothesis):
+            self._path_nfailed[self.comp_paths(comp)] += 1
+            esets = self.comp_esets(comp)
+            if len(esets):
+                self._set_e_nfailed[esets] += 1
+        if self.n_sets:
+            n_isets = len(self.iset_uoff) - 1
+            inst_iset = np.repeat(
+                np.arange(n_isets, dtype=np.int64), self.iset_ulen
+            )
+            iset_b = np.bincount(
+                inst_iset,
+                weights=self.iset_umult * (self._path_nfailed[self.iset_upids] > 0),
+                minlength=n_isets,
+            )
+            b = iset_b[self.iset_of_set]
+            # A failed endpoint component fails every member path.
+            full = self._set_e_nfailed > 0
+            b[full] = self.set_w[full]
+            self._set_b = b.astype(np.int64)
+        else:
+            self._set_b = np.zeros(0, dtype=np.int64)
+
+    @classmethod
+    def restore(
+        cls,
+        problem: InferenceProblem,
+        params: FlockParams,
+        hypothesis,
+        delta: np.ndarray,
+        ll: float,
+        flips: int,
+        kernel_backend: Optional[str] = None,
+    ) -> "VectorJleState":
+        """Reconstruct a warm state from checkpointed search facts.
+
+        The serialized facts are exactly the non-recomputable ones:
+        the hypothesis, the Δ array (float64, bit-exact), the
+        normalized ll, and the flip count.  Structural counters are a
+        pure function of hypothesis + problem and are rebuilt here, so
+        a monitor restored onto a bit-identical window problem resumes
+        localization exactly where the checkpointed one stopped.
+        """
+        self = cls.__new__(cls)
+        VectorArrays.__init__(self, problem, params, kernel_backend)
+        delta = np.array(delta, dtype=np.float64, copy=True)
+        if delta.shape != (self.n_comps,):
+            raise InferenceError(
+                f"checkpointed delta has shape {delta.shape}, problem "
+                f"has {self.n_comps} component(s) - the checkpoint does "
+                "not match this window"
+            )
+        self.hypothesis = set(int(c) for c in hypothesis)
+        self.flips = int(flips)
+        self._rebuild_structural()
+        self.delta = delta
+        self.ll = float(ll)
+        self.added_contrib = None
         return self
 
     def _delta_contrib(

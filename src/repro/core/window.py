@@ -141,6 +141,15 @@ class WindowedProblem:
             )
         return self._problem
 
+    def retained_chunk_observations(self) -> List[ObservationBatch]:
+        """The retained chunks' raw observations, oldest first.
+
+        One entry per retained chunk (the checkpoint codec stores them
+        individually so a resume can validate each regenerated chunk
+        against the checkpointed one before trusting the replay).
+        """
+        return [c.obs for c in self._chunks]
+
     def retained_observations(self) -> ObservationBatch:
         """The window's raw observation rows, concatenated in arrival
         order - feeding these to ``from_batch`` must reproduce

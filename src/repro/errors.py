@@ -58,6 +58,12 @@ class FleetError(ExperimentError):
     """
 
 
+class CheckpointError(ExperimentError):
+    """A stream checkpoint could not be written, parsed, or restored
+    (format drift, checksum mismatch, or a resume against a stream whose
+    regenerated prefix no longer matches the checkpointed one)."""
+
+
 class ChaosError(ReproError):
     """The fault-injection harness was misconfigured, or a chaos soak
     ended in a state it asserts against (non-draining fleet, collected

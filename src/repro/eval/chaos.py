@@ -74,6 +74,10 @@ class ChaosSpec:
     max_clock_skew: float = 2.0
     burst: float = 0.25
     max_burst: int = 3
+    #: Probability (per submission) that the submitter is killed
+    #: mid-enqueue, leaving a journaled half-written experiment the
+    #: soak must resume with ``--if-exists resume``.
+    submit_crash: float = 0.50
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -93,6 +97,7 @@ class ChaosSpec:
 LIGHT = ChaosSpec(
     crash_at_claim=0.05, crash_mid_unit=0.05, stall=0.05,
     db_locked=0.05, corrupt=0.05, max_clock_skew=1.0,
+    submit_crash=0.25,
 )
 #: The default schedule: every fault class fires in a short soak.
 DEFAULT = ChaosSpec()
@@ -100,6 +105,7 @@ DEFAULT = ChaosSpec()
 HEAVY = ChaosSpec(
     crash_at_claim=0.25, crash_mid_unit=0.25, stall=0.2,
     db_locked=0.25, corrupt=0.2, max_clock_skew=5.0,
+    submit_crash=1.0,
 )
 
 PROFILES: Dict[str, ChaosSpec] = {
@@ -155,6 +161,10 @@ class ChaosPolicy:
         self.spec = spec
         self.clock = clock if clock is not None else ChaosClock()
         self._rng = random.Random(seed)
+        # Submitter faults draw from their own seeded stream: adding
+        # them must not reshuffle the worker/broker/stream schedules
+        # that existing seeds pin down.
+        self._submit_rng = random.Random((seed << 1) ^ 0x5AB317)
         self._skews: Dict[str, float] = {}
         #: Set by the soak once the broker exists; stalls scale off it.
         self.lease_seconds: float = 60.0
@@ -183,6 +193,22 @@ class ChaosPolicy:
                 self.events["clock_skew"] = self.events.get("clock_skew", 0) + 1
         skew = self._skews[worker]
         return lambda: self.clock.now() + skew
+
+    # -- submit hook -----------------------------------------------------
+
+    def submit_kill_batch(self) -> Optional[int]:
+        """Batch index the submitter dies after, or ``None`` for a
+        clean submission.
+
+        A killed submit leaves the experiment journaled in
+        ``'enqueueing'`` with only the first batches of units written -
+        the soak must then resume it (``if_exists="resume"``) and the
+        resumed fleet must still drain bit-identical to serial.
+        """
+        if not self._submit_rng.random() < self.spec.submit_crash:
+            return None
+        self.events["submit_crash"] = self.events.get("submit_crash", 0) + 1
+        return self._submit_rng.randint(0, 3)
 
     # -- broker hook ----------------------------------------------------
 
@@ -286,6 +312,39 @@ class ChaosSoakReport:
         )
 
 
+def _chaos_submit(policy: ChaosPolicy, broker_path, experiment: str, **kwargs):
+    """Submit under the submitter-kill fault.
+
+    When the policy schedules a kill, the first ``fleet.submit`` dies
+    (``WorkerCrash`` out of the ``on_batch`` seam, mid-enqueue, small
+    batches so the journal is genuinely half-written) and the
+    submission is then re-run with ``if_exists="resume"`` - the exact
+    operator recovery the runbook prescribes.  A kill scheduled past
+    the last batch degenerates into a clean submit followed by a
+    no-op resume; both paths end with the experiment ``'ready'``.
+    """
+    kill_after = policy.submit_kill_batch()
+    if kill_after is None:
+        return fleet.submit(broker_path, experiment, **kwargs)
+
+    def bomb(batch_index: int, enqueued: int) -> None:
+        if batch_index >= kill_after:
+            raise WorkerCrash(
+                f"chaos: submitter killed after batch {batch_index} "
+                f"({enqueued} unit(s) enqueued)"
+            )
+
+    try:
+        fleet.submit(
+            broker_path, experiment, on_batch=bomb, batch_size=2, **kwargs
+        )
+    except WorkerCrash:
+        pass
+    return fleet.submit(
+        broker_path, experiment, if_exists="resume", batch_size=2, **kwargs
+    )
+
+
 def run_chaos_soak(
     experiment: str = "fig2",
     preset: str = "tiny",
@@ -336,9 +395,10 @@ def run_chaos_soak(
     policy = ChaosPolicy(seed, spec, clock)
     policy.lease_seconds = lease_seconds
 
-    fleet.submit(
-        broker_path, experiment, preset=preset, unit_traces=unit_traces,
-        lease_seconds=lease_seconds, max_attempts=max_attempts,
+    _chaos_submit(
+        policy, broker_path, experiment, preset=preset,
+        unit_traces=unit_traces, lease_seconds=lease_seconds,
+        max_attempts=max_attempts,
     )
 
     crashes = completed = stale = io_retries = 0
@@ -410,6 +470,310 @@ def run_chaos_soak(
     return report
 
 
+@dataclass(frozen=True)
+class MultiSoakReport:
+    """Outcome of one seeded multi-experiment soak."""
+
+    experiment: str
+    preset: str
+    seed: int
+    names: tuple  #: (low-priority name, high-priority name)
+    first_claimed: str  #: experiment name of the first successful claim
+    drained: bool
+    identical: bool  #: both experiments collected bit-identical to serial
+    rounds: int
+    crashes: int
+    completed: int
+    events: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.drained and self.identical and (
+            self.first_claimed == self.names[1]
+        )
+
+    def summary(self) -> str:
+        events = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.events.items())
+        ) or "no faults fired"
+        verdict = "OK" if self.ok else (
+            "WRONG PRIORITY" if self.drained and self.identical
+            else ("DIVERGED" if self.drained else "DID NOT DRAIN")
+        )
+        return (
+            f"seed {self.seed} [multi]: {verdict} after {self.rounds} "
+            f"round(s) - {'+'.join(self.names)} shared {self.completed} "
+            f"completion(s), {self.crashes} crash(es), first claim from "
+            f"{self.first_claimed or '-'} [{events}]"
+        )
+
+
+def run_multi_soak(
+    experiment: str = "fig2",
+    preset: str = "tiny",
+    seed: int = 0,
+    spec: ChaosSpec = DEFAULT,
+    workdir=None,
+    unit_traces: int = 2,
+    n_workers: int = 3,
+    lease_seconds: float = 30.0,
+    max_attempts: int = 10,
+    max_rounds: int = 400,
+    serial_rows_pair=None,
+    strict: bool = True,
+) -> MultiSoakReport:
+    """Two experiments, mixed priorities, one broker, shared workers.
+
+    ``experiment`` is submitted twice into one broker file - a
+    low-priority arm at the registry seed and a high-priority arm
+    (priority 5) at a shifted seed, both through the submitter-kill
+    fault - then the usual chaos workers drain the broker with **no**
+    ``--experiment`` filter: the priority-then-FIFO claim order is part
+    of what is under test (the first successful claim must come from
+    the high-priority arm while it has pending units).  Healing runs
+    per experiment; after draining, each arm is collected separately
+    and compared bit-for-bit against its own serial run.
+    """
+    if workdir is None:
+        raise ChaosError("run_multi_soak needs a workdir for the broker file")
+    if n_workers < 1:
+        raise ChaosError(f"n_workers must be >= 1, got {n_workers}")
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    stem = f"chaos-multi-{experiment}-{preset}-{seed}"
+    broker_path = workdir / f"{stem}.db"
+    attempt = 0
+    while broker_path.exists():
+        attempt += 1
+        broker_path = workdir / f"{stem}-{attempt}.db"
+
+    clock = ChaosClock()
+    policy = ChaosPolicy(seed, spec, clock)
+    policy.lease_seconds = lease_seconds
+    name_lo = f"{experiment}-lo"
+    name_hi = f"{experiment}-hi"
+    seed_hi = 101 + seed
+
+    common = dict(
+        preset=preset, unit_traces=unit_traces,
+        lease_seconds=lease_seconds, max_attempts=max_attempts,
+    )
+    _chaos_submit(
+        policy, broker_path, experiment, name=name_lo, priority=0, **common,
+    )
+    _chaos_submit(
+        policy, broker_path, experiment, name=name_hi, priority=5,
+        seed=seed_hi, **common,
+    )
+
+    first_claimed = ""
+
+    def spy_claim(leased: LeasedUnit) -> None:
+        nonlocal first_claimed
+        if not first_claimed:
+            first_claimed = leased.experiment
+        policy.on_claim(leased)
+
+    crashes = completed = 0
+    rounds = 0
+    drained = False
+    while rounds < max_rounds:
+        rounds += 1
+        for index in range(n_workers):
+            worker_id = f"chaos-w{index}"
+            try:
+                report = fleet.work(
+                    broker_path,
+                    worker_id=worker_id,
+                    max_units=1,
+                    wait=False,
+                    sleep=clock.sleep,
+                    clock=policy.worker_clock(worker_id),
+                    heartbeat_seconds=0,
+                    retry=policy.retry,
+                    fault_hook=policy.broker_fault,
+                    on_claim=spy_claim,
+                    on_executed=policy.on_executed,
+                    transform_wire=policy.corrupt_wire,
+                )
+            except (WorkerCrash, sqlite3.OperationalError):
+                crashes += 1
+            else:
+                completed += report.completed
+            clock.advance(policy.step_seconds())
+        with Broker.open(broker_path) as broker:
+            counts = broker.counts()
+            if counts.pending == 0 and counts.leased == 0:
+                if counts.failed:
+                    broker.retry_failed()
+                    continue
+                if broker.verify_results():
+                    continue
+                drained = True
+        if drained:
+            break
+        clock.advance(policy.step_seconds())
+
+    identical = False
+    if drained:
+        if serial_rows_pair is None:
+            serial_rows_pair = (
+                run_experiment(experiment, preset=preset).rows,
+                run_experiment(experiment, preset=preset, seed=seed_hi).rows,
+            )
+        identical = (
+            fleet.collect(broker_path, experiment=name_lo).rows
+            == serial_rows_pair[0]
+            and fleet.collect(broker_path, experiment=name_hi).rows
+            == serial_rows_pair[1]
+        )
+
+    report = MultiSoakReport(
+        experiment=experiment, preset=preset, seed=seed,
+        names=(name_lo, name_hi), first_claimed=first_claimed,
+        drained=drained, identical=identical, rounds=rounds,
+        crashes=crashes, completed=completed, events=dict(policy.events),
+    )
+    if strict and not report.ok:
+        raise ChaosError(f"multi-experiment soak failed: {report.summary()}")
+    return report
+
+
+@dataclass(frozen=True)
+class StreamSoakReport:
+    """Outcome of one seeded stream crash/resume soak."""
+
+    scenario: str
+    preset: str
+    seed: int
+    crash_cycle: Optional[int]  #: cycle the monitor was killed after
+    cycles: int  #: cycles the crash+resume run produced in total
+    identical: bool  #: wire-form reports bit-identical to uninterrupted
+    events: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.identical
+
+    def summary(self) -> str:
+        events = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.events.items())
+        ) or "no faults fired"
+        verdict = "OK" if self.ok else "DIVERGED"
+        crash = (
+            "no crash scheduled" if self.crash_cycle is None
+            else f"killed after cycle {self.crash_cycle}"
+        )
+        return (
+            f"seed {self.seed} [stream]: {verdict} - {crash}, "
+            f"{self.cycles} cycle(s) total [{events}]"
+        )
+
+
+def run_stream_soak(
+    scenario: str = "gray-drift",
+    preset: str = "tiny",
+    seed: int = 0,
+    spec: ChaosSpec = DEFAULT,
+    workdir=None,
+    n_cycles: int = 8,
+    window: int = 3,
+    flows_per_chunk: int = 300,
+    probes_per_chunk: int = 60,
+    scheme: str = "flock",
+    strict: bool = True,
+) -> StreamSoakReport:
+    """Stream crash/resume under bursty arrivals, vs. uninterrupted.
+
+    One seeded arrival schedule (bursts shed and coalesce chunks, the
+    stream-layer faults) drives two runs of the same incident: an
+    uninterrupted monitor, and a monitor that checkpoints every cycle,
+    is abandoned after a seeded crash cycle, and is restored from its
+    checkpoint file in a fresh "process" (fresh topology, fresh
+    PathSpace, regenerated chunks).  Every cycle report - before and
+    after the crash - must be bit-identical in wire form to the
+    uninterrupted run's.  Budgets stay off: the budget ladder is
+    wall-clock dependent by design and can never be bit-stable.
+    """
+    from . import experiments
+    from ..routing.ecmp import EcmpRouting
+    from ..simulation.failures import make_scenario
+    from ..simulation.stream import replay_stream
+    from .serialize import cycle_report_to_wire, decode_stream_checkpoint
+    from .stream import StreamMonitor
+
+    if workdir is None:
+        raise ChaosError(
+            "run_stream_soak needs a workdir for the checkpoint file"
+        )
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    checkpoint = workdir / f"chaos-stream-{scenario}-{preset}-{seed}.ckpt"
+
+    def build():
+        topology = experiments.standard_topology(preset)
+        routing = EcmpRouting(topology)
+        chunks = replay_stream(
+            topology, routing, make_scenario(scenario), seed=seed,
+            n_chunks=n_cycles, flows_per_chunk=flows_per_chunk,
+            probes_per_chunk=probes_per_chunk, onset_chunk=n_cycles // 3,
+            clear_chunk=None,
+        )
+        return topology, list(chunks)
+
+    policy = ChaosPolicy(seed, spec)
+    schedule = policy.arrival_bursts(n_cycles)
+    groups: List[tuple] = []
+    cursor = 0
+    for count in schedule:
+        groups.append((cursor, cursor + count))
+        cursor += count
+    crash_cycle: Optional[int] = (
+        policy._rng.randint(1, len(groups) - 1) if len(groups) > 1 else None
+    )
+    if crash_cycle is not None:
+        policy.events["stream_crash"] = 1
+
+    # Uninterrupted baseline.
+    topology, chunks = build()
+    monitor = StreamMonitor(topology, scheme=scheme, window=window, seed=seed)
+    baseline = [
+        cycle_report_to_wire(monitor.pump(chunks[a:b])) for a, b in groups
+    ]
+
+    # Crash run: checkpoint every cycle, die after ``crash_cycle``.
+    topology, chunks = build()
+    monitor = StreamMonitor(
+        topology, scheme=scheme, window=window, seed=seed,
+        checkpoint_path=str(checkpoint), checkpoint_every=1,
+    )
+    reports = []
+    survived = groups if crash_cycle is None else groups[:crash_cycle]
+    for a, b in survived:
+        reports.append(cycle_report_to_wire(monitor.pump(chunks[a:b])))
+
+    if crash_cycle is not None:
+        # The "crash": the monitor object is abandoned; everything
+        # below runs against fresh objects, as a new process would.
+        del monitor
+        topology, chunks = build()
+        with open(checkpoint, "r", encoding="utf-8") as handle:
+            payload = decode_stream_checkpoint(handle.read())
+        monitor = StreamMonitor.from_checkpoint(payload, topology, chunks)
+        for a, b in groups[crash_cycle:]:
+            reports.append(cycle_report_to_wire(monitor.pump(chunks[a:b])))
+
+    identical = reports == baseline
+    report = StreamSoakReport(
+        scenario=scenario, preset=preset, seed=seed,
+        crash_cycle=crash_cycle, cycles=len(reports), identical=identical,
+        events=dict(policy.events),
+    )
+    if strict and not report.ok:
+        raise ChaosError(f"stream soak failed: {report.summary()}")
+    return report
+
+
 def run_chaos_suite(
     experiment: str = "fig2",
     preset: str = "tiny",
@@ -446,7 +810,11 @@ __all__ = [
     "ChaosPolicy",
     "ChaosSoakReport",
     "ChaosSpec",
+    "MultiSoakReport",
+    "StreamSoakReport",
     "WorkerCrash",
     "run_chaos_soak",
     "run_chaos_suite",
+    "run_multi_soak",
+    "run_stream_soak",
 ]

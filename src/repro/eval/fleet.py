@@ -64,7 +64,14 @@ from typing import Callable, Dict, Optional
 
 from ..errors import ExperimentError, FleetError
 from ..retry import DEFAULT_BROKER_RETRY, RetryPolicy
-from .broker import Broker, FleetCounts, LeasedUnit
+from .broker import (
+    Broker,
+    ExperimentRow,
+    FleetCounts,
+    LeasedUnit,
+    _validate_budgets,
+    plan_fingerprint,
+)
 from .runner import RunnerConfig
 from .serialize import encode_unit_payload
 from .spec import (
@@ -92,6 +99,10 @@ class SubmitReport:
     preset: str
     n_calls: int
     n_units: int
+    name: str = ""  #: experiment name inside the broker (default: registry name)
+    priority: int = 0
+    resumed: bool = False  #: an interrupted submission was picked back up
+    n_enqueued: int = 0  #: units inserted by *this* call (< n_units on resume)
 
 
 @dataclass(frozen=True)
@@ -193,6 +204,12 @@ def _format_unit_error(exc: BaseException, limit: int = 8000) -> str:
     return text
 
 
+#: Units inserted per journaled enqueue transaction.  Small enough that
+#: a killed submitter redoes at most one batch; large enough that the
+#: per-transaction overhead is noise.
+SUBMIT_BATCH = 64
+
+
 def submit(
     broker_path,
     experiment: str,
@@ -203,15 +220,52 @@ def submit(
     unit_traces: int = 1,
     lease_seconds: float = 60.0,
     max_attempts: int = 3,
+    name: Optional[str] = None,
+    priority: int = 0,
+    if_exists: str = "fail",
+    on_batch: Optional[Callable[[int, int], None]] = None,
+    batch_size: int = SUBMIT_BATCH,
 ) -> SubmitReport:
-    """Decompose an experiment into work units and create its broker.
+    """Decompose an experiment into work units and enqueue them.
 
     The spec is built once here to compute the :class:`CallPlan`
     sequence (the schema workers validate against); nothing is
     evaluated.  Fails on experiments registered ``shardable=False`` -
     the fleet shares sharding's purity requirement on the grid-call
     sequence.
+
+    The broker file is created if absent and extended otherwise: one
+    broker holds any number of experiments, each named (``name``,
+    default: the registry name) and scheduled by ``priority`` (higher
+    drains first).  Submission is **journaled and crash-safe**: the
+    experiment row is written first in ``'enqueueing'`` state with the
+    plan fingerprint, units land in batches of ``batch_size``, and the
+    row only flips ``'ready'`` (claimable) once every planned unit is
+    in.  A submitter killed mid-enqueue therefore strands nothing.
+
+    ``if_exists`` governs a re-run against a broker that already holds
+    this experiment name:
+
+    * ``'fail'`` (default): raise - a re-run never silently
+      double-enqueues.
+    * ``'resume'``: if the stored plan fingerprint matches this
+      submission exactly, pick up where the dead submitter stopped
+      (verifying the already-inserted prefix) and finish the journal;
+      a fingerprint mismatch - different grid, seed, decomposition -
+      still fails loudly.  Resuming an already-``'ready'`` experiment
+      is a no-op.
+
+    ``on_batch(batch_index, inserted_so_far)`` is a fault-injection
+    seam called after each batch commits (chaos kills submitters
+    there).
     """
+    if if_exists not in ("fail", "resume"):
+        raise ExperimentError(
+            f"if_exists must be 'fail' or 'resume', got {if_exists!r}"
+        )
+    if batch_size < 1:
+        raise ExperimentError(f"batch_size must be >= 1, got {batch_size}")
+    _validate_budgets(lease_seconds, max_attempts)
     entry = get_experiment(experiment)
     if not entry.shardable:
         raise ExperimentError(
@@ -236,13 +290,69 @@ def submit(
         "scheme": scheme,
         "overrides": overrides,
     }
-    Broker.create(
-        broker_path, meta, plan, units,
-        lease_seconds=lease_seconds, max_attempts=max_attempts,
-    ).close()
+    exp_name = name if name is not None else experiment
+    fingerprint = plan_fingerprint(meta, plan, units)
+    path = Path(broker_path)
+    broker = (
+        Broker.open(path) if path.exists() else Broker.create_empty(path)
+    )
+    with broker:
+        row = broker.experiment(exp_name)
+        resumed = False
+        start = 0
+        if row is None:
+            experiment_id = broker.begin_experiment(
+                exp_name, meta, plan, n_units=len(units), priority=priority,
+                lease_seconds=lease_seconds, max_attempts=max_attempts,
+                plan_hash=fingerprint,
+            )
+        else:
+            if if_exists == "fail":
+                raise FleetError(
+                    f"experiment {exp_name!r} already exists in {path} "
+                    f"(state: {row.state}); pass --if-exists resume to "
+                    "continue an interrupted submission, or submit under "
+                    "a different --name"
+                )
+            if row.plan_hash != fingerprint:
+                raise FleetError(
+                    f"refusing to resume experiment {exp_name!r} in {path}: "
+                    "this submission's plan fingerprint "
+                    f"({fingerprint}) differs from the journaled one "
+                    f"({row.plan_hash}) - same name, different "
+                    "grid/seed/decomposition; submit under a different "
+                    "--name or to a fresh broker"
+                )
+            resumed = True
+            experiment_id = row.id
+            if row.state == "ready":
+                return SubmitReport(
+                    path=path, experiment=experiment, preset=preset,
+                    n_calls=len(plan), n_units=len(units), name=exp_name,
+                    priority=row.priority, resumed=True, n_enqueued=0,
+                )
+            existing = broker.enqueued_units(experiment_id)
+            start = len(existing)
+            if existing != list(units[:start]):
+                raise FleetError(
+                    f"refusing to resume experiment {exp_name!r} in {path}: "
+                    f"the {start} already-enqueued unit(s) do not match "
+                    "this submission's decomposition despite a matching "
+                    "fingerprint - the broker file is damaged; submit to "
+                    "a fresh broker"
+                )
+        enqueued = 0
+        for batch_index, offset in enumerate(range(start, len(units), batch_size)):
+            batch = units[offset:offset + batch_size]
+            broker.enqueue_units(experiment_id, batch, start_index=offset)
+            enqueued += len(batch)
+            if on_batch is not None:
+                on_batch(batch_index, offset + len(batch))
+        broker.finish_enqueue(experiment_id)
     return SubmitReport(
-        path=Path(broker_path), experiment=experiment, preset=preset,
-        n_calls=len(plan), n_units=len(units),
+        path=path, experiment=experiment, preset=preset,
+        n_calls=len(plan), n_units=len(units), name=exp_name,
+        priority=priority, resumed=resumed, n_enqueued=enqueued,
     )
 
 
@@ -256,12 +366,38 @@ def _spec_from_meta(meta: Dict[str, object]):
     )
 
 
+class _ExperimentContext:
+    """One experiment's validated spec + plan + point cache, per worker.
+
+    Built lazily on the worker's first claim from that experiment (and
+    eagerly for all experiments already ``'ready'`` at startup, so a
+    stale checkout fails before any lease is burned).  The point cache
+    amortizes trace generation across the units this worker runs for
+    the experiment.
+    """
+
+    def __init__(self, row: ExperimentRow, submitted_plan) -> None:
+        self.row = row
+        self.spec = _spec_from_meta(row.meta)
+        live_plan = plan_calls(self.spec)
+        if live_plan != submitted_plan:
+            raise ExperimentError(
+                f"this checkout's grid plan for {row.meta['experiment']!r} "
+                f"({len(live_plan)} call(s)) does not match the broker's "
+                f"submitted plan ({len(submitted_plan)} call(s)); worker "
+                "and submitter must run matching checkouts"
+            )
+        self.plan = submitted_plan
+        self.point_cache: Dict = {}
+
+
 def work(
     broker_path,
     worker_id: Optional[str] = None,
     runner: Optional[RunnerConfig] = None,
     max_units: Optional[int] = None,
     wait: bool = True,
+    experiment: Optional[str] = None,
     on_claim: Optional[Callable[[LeasedUnit], None]] = None,
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.time,
@@ -273,12 +409,18 @@ def work(
 ) -> WorkerReport:
     """Drain work units from a broker until none are claimable.
 
-    The worker builds the experiment spec from broker metadata,
-    validates its live grid plan against the submitted one (a stale
-    checkout fails here, before any result is written), then loops:
-    claim, execute through :func:`run_spec` under a
+    The worker builds each experiment's spec from its broker journal
+    row, validates its live grid plan against the submitted one (a
+    stale checkout fails here, before any result is written), then
+    loops: claim, execute through :func:`run_spec` under a
     :class:`SingleUnitRecorder`, store the wire payload.  Built
-    ``(topology, routing, traces)`` triples are cached across units.
+    ``(topology, routing, traces)`` triples are cached across units,
+    per experiment.
+
+    A multi-experiment broker is drained by experiment priority
+    (descending) then FIFO; ``experiment`` restricts this worker to one
+    experiment by name.  Experiments submitted *after* the worker
+    started are picked up as their units are claimed.
 
     With ``wait=True`` (default) a worker that finds nothing pending
     while other leases are outstanding sleeps until the earliest lease
@@ -321,27 +463,31 @@ def work(
         )
 
     with Broker.open(broker_path, fault_hook=fault_hook) as broker:
-        meta = broker.experiment_meta()
-        submitted_plan = broker.plan()
-        spec = _spec_from_meta(meta)
-        live_plan = plan_calls(spec)
-        if live_plan != submitted_plan:
-            raise ExperimentError(
-                f"this checkout's grid plan for {meta['experiment']!r} "
-                f"({len(live_plan)} call(s)) does not match the broker's "
-                f"submitted plan ({len(submitted_plan)} call(s)); worker "
-                "and submitter must run matching checkouts"
-            )
-        heartbeat = (
-            broker.lease_seconds * HEARTBEAT_FRACTION
-            if heartbeat_seconds is None
-            else heartbeat_seconds
-        )
-        point_cache: Dict = {}
+        if experiment is not None:
+            broker.resolve_experiment(experiment)  # fail fast on a typo
+
+        # Validate every already-ready experiment's plan up front, so a
+        # stale checkout dies before burning any unit's attempt budget.
+        contexts: Dict[int, _ExperimentContext] = {}
+        for row in broker.experiments():
+            if not row.ready:
+                continue
+            if experiment is not None and row.name != experiment:
+                continue
+            contexts[row.id] = _ExperimentContext(row, broker.plan(row.name))
+
+        def _context(leased: LeasedUnit) -> _ExperimentContext:
+            ctx = contexts.get(leased.experiment_id)
+            if ctx is None:  # experiment submitted after startup
+                row = broker.resolve_experiment(leased.experiment)
+                ctx = _ExperimentContext(row, broker.plan(row.name))
+                contexts[row.id] = ctx
+            return ctx
+
         while max_units is None or completed + failed < max_units:
-            leased = _io(broker.claim, worker, now=clock())
+            leased = _io(broker.claim, worker, now=clock(), experiment=experiment)
             if leased is None:
-                counts = _io(broker.counts)
+                counts = _io(broker.counts, experiment=experiment)
                 if counts.finished or not wait:
                     break
                 expiry = _io(broker.next_lease_expiry)
@@ -352,6 +498,12 @@ def work(
                 continue
             if on_claim is not None:
                 on_claim(leased)
+            ctx = _context(leased)
+            heartbeat = (
+                leased.lease_seconds * HEARTBEAT_FRACTION
+                if heartbeat_seconds is None
+                else heartbeat_seconds
+            )
             ticker = None
             if heartbeat > 0:
                 ticker = _HeartbeatTicker(
@@ -360,10 +512,10 @@ def work(
                 )
                 ticker.start()
             try:
-                recorder = SingleUnitRecorder(leased.unit, submitted_plan)
+                recorder = SingleUnitRecorder(leased.unit, ctx.plan)
                 run_spec(
-                    spec, replace(base, shard=recorder),
-                    point_cache=point_cache,
+                    ctx.spec, replace(base, shard=recorder),
+                    point_cache=ctx.point_cache,
                 )
                 payload = recorder.unit_payload()
             except Exception as exc:  # noqa: BLE001 - any unit failure retries
@@ -428,29 +580,65 @@ def _progress(counts: FleetCounts, completion_times) -> Dict[str, object]:
     return out
 
 
-def status(broker_path, detail: bool = False) -> Dict[str, object]:
-    """A broker's live state: meta, counts, progress/ETA, unit rows."""
+def status(
+    broker_path,
+    detail: bool = False,
+    experiment: Optional[str] = None,
+) -> Dict[str, object]:
+    """A broker's live state: meta, counts, progress/ETA, unit rows.
+
+    Top-level ``counts``/``progress``/``errors`` aggregate over the
+    whole broker (or the targeted ``experiment``); ``experiments``
+    breaks the same facts out per experiment in priority order.  On a
+    single-experiment broker the experiment's identity meta is also
+    spread at top level (the pre-v3 shape).  Everything in the returned
+    dict is JSON-serializable (``fleet status --json``).
+    """
     with Broker.open(broker_path) as broker:
-        counts = broker.counts()
+        rows = (
+            [broker.resolve_experiment(experiment)]
+            if experiment is not None
+            else broker.experiments()
+        )
+        per = []
+        for row in rows:
+            counts = broker.counts(row.name)
+            per.append({
+                "name": row.name,
+                "priority": row.priority,
+                "state": row.state,
+                **row.meta,
+                "counts": counts.as_dict(),
+                "progress": _progress(
+                    counts, broker.completion_times(row.name)
+                ),
+                "errors": broker.errors(row.name),
+            })
+        agg = broker.counts(experiment)
         out: Dict[str, object] = {
-            **broker.experiment_meta(),
-            "counts": counts.as_dict(),
-            "progress": _progress(counts, broker.completion_times()),
-            "errors": broker.errors(),
+            "path": str(broker.path),
+            "counts": agg.as_dict(),
+            "progress": _progress(agg, broker.completion_times(experiment)),
+            "errors": broker.errors(experiment),
+            "experiments": per,
         }
+        if len(rows) == 1:
+            out = {**rows[0].meta, **out}
         if detail:
-            out["units"] = broker.unit_rows()
+            out["units"] = broker.unit_rows(experiment)
         return out
 
 
-def retry(broker_path) -> int:
+def retry(broker_path, experiment: Optional[str] = None) -> int:
     """Re-queue a broker's permanently-failed units; returns the count."""
     with Broker.open(broker_path) as broker:
-        return broker.retry_failed()
+        return broker.retry_failed(experiment)
 
 
 def collect(
-    broker_path, runner: Optional[RunnerConfig] = None
+    broker_path,
+    runner: Optional[RunnerConfig] = None,
+    experiment: Optional[str] = None,
 ) -> ExperimentResult:
     """Fold a finished fleet's results into the full experiment result.
 
@@ -468,6 +656,13 @@ def collect(
     if runner is not None and runner.shard is not None:
         raise ExperimentError("fleet collect cannot nest inside another shard")
     with Broker.open(broker_path) as broker:
+        row = broker.resolve_experiment(experiment)
+        if not row.ready:
+            raise FleetError(
+                f"cannot collect experiment {row.name!r}: its submission "
+                "journal is still open (an interrupted 'fleet submit'); "
+                "re-run the submission with --if-exists resume first"
+            )
         corrupted = broker.verify_results()
         if corrupted:
             shown = ", ".join(str(u) for u in corrupted[:5])
@@ -477,9 +672,9 @@ def collect(
                 "and the units re-queued - run more workers, then collect "
                 "again"
             )
-        counts = broker.counts()
+        counts = broker.counts(row.name)
         if counts.failed:
-            first_id, first_error = broker.errors()[0]
+            first_id, first_error = broker.errors(row.name)[0]
             raise ExperimentError(
                 f"cannot collect: {counts.failed} of {counts.total} unit(s) "
                 f"failed permanently (first: unit {first_id}: {first_error}); "
@@ -491,10 +686,9 @@ def collect(
                 f"pending and {counts.leased} leased of {counts.total} "
                 "unit(s); run more workers first"
             )
-        plan = broker.plan()
-        calls = assemble_calls(plan, broker.results())
-        meta = broker.experiment_meta()
-        spec = _spec_from_meta(meta)
+        plan = broker.plan(row.name)
+        calls = assemble_calls(plan, broker.results(row.name))
+        spec = _spec_from_meta(row.meta)
     replayer = UnitReplayer(calls)
     result = run_spec(
         spec, replace(runner or RunnerConfig(), shard=replayer)

@@ -39,11 +39,14 @@ Every decoder validates the payload shape and raises
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ExperimentError
+import numpy as np
+
+from ..errors import CheckpointError, ExperimentError
 from ..types import Prediction
 from .harness import EvalSummary, TraceResult
 from .metrics import AggregateMetrics, TraceMetrics
@@ -255,3 +258,165 @@ def eval_summary_from_wire(payload) -> EvalSummary:
         mean_inference_seconds=_number(payload["mi"], "mean_inference_seconds"),
         mean_build_seconds=_number(payload["mb"], "mean_build_seconds"),
     )
+
+
+# ----------------------------------------------------------------------
+# Stream checkpoints
+# ----------------------------------------------------------------------
+
+#: Checkpoint document format tag + version.  A checkpoint additionally
+#: carries :data:`SCHEMA_VERSION` (its Prediction payloads use the wire
+#: codec above); both are checked on decode.
+STREAM_CHECKPOINT_FORMAT = "flock-stream-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def ndarray_to_wire(array: np.ndarray) -> Dict:
+    """``ndarray -> {"d": dtype, "s": shape, "b": base64 bytes}``.
+
+    Raw little-endian bytes in base64: bit-exact for float64 (the warm
+    Δ vectors must survive a checkpoint round-trip bitwise, JSON float
+    formatting notwithstanding) and compact for the int64 observation
+    columns.
+    """
+    array = np.ascontiguousarray(array)
+    if array.dtype.byteorder == ">":  # pragma: no cover - BE platforms
+        array = array.astype(array.dtype.newbyteorder("<"))
+    return {
+        "d": array.dtype.str,
+        "s": list(array.shape),
+        "b": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def ndarray_from_wire(payload) -> np.ndarray:
+    _require(payload, ("d", "s", "b"), "ndarray")
+    try:
+        dtype = np.dtype(payload["d"])
+        raw = base64.b64decode(payload["b"], validate=True)
+        array = np.frombuffer(raw, dtype=dtype).reshape(payload["s"])
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed ndarray payload: {exc}") from None
+    return array.copy()  # frombuffer is read-only; state arrays mutate
+
+
+def cycle_report_to_wire(report) -> Dict:
+    """``CycleReport`` minus its wall-clock timings.
+
+    ``build_seconds``/``localize_seconds`` are intentionally dropped:
+    they are the only machine-dependent fields, and the crash/resume
+    soaks compare wire-form reports for bit-identity across runs.
+    """
+    return {
+        "v": SCHEMA_VERSION,
+        "cy": int(report.cycle),
+        "ts": float(report.t_start),
+        "te": float(report.t_end),
+        "rf": int(report.raw_flows),
+        "gf": int(report.grouped_flows),
+        "p": prediction_to_wire(report.prediction),
+        "tr": sorted(int(c) for c in report.truth),
+        "de": bool(report.detected),
+        "ch": int(report.churn),
+        "dg": bool(report.degraded),
+        "dr": report.degrade_reason,
+        "sh": int(report.shed_chunks),
+        "co": int(report.coalesced_chunks),
+        "bu": None if report.budget_seconds is None else float(report.budget_seconds),
+    }
+
+
+def cycle_report_from_wire(payload):
+    check_schema_version(payload, "CycleReport")
+    _require(
+        payload,
+        ("cy", "ts", "te", "rf", "gf", "p", "tr", "de", "ch", "dg", "dr",
+         "sh", "co", "bu"),
+        "CycleReport",
+    )
+    from .stream import CycleReport  # local: stream imports this module
+
+    return CycleReport(
+        cycle=_integer(payload["cy"], "cycle"),
+        t_start=_number(payload["ts"], "t_start"),
+        t_end=_number(payload["te"], "t_end"),
+        raw_flows=_integer(payload["rf"], "raw_flows"),
+        grouped_flows=_integer(payload["gf"], "grouped_flows"),
+        prediction=prediction_from_wire(payload["p"]),
+        truth=frozenset(_integer(c, "truth component") for c in payload["tr"]),
+        detected=bool(payload["de"]),
+        churn=_integer(payload["ch"], "churn"),
+        build_seconds=0.0,
+        localize_seconds=0.0,
+        degraded=bool(payload["dg"]),
+        degrade_reason=payload["dr"],
+        shed_chunks=_integer(payload["sh"], "shed_chunks"),
+        coalesced_chunks=_integer(payload["co"], "coalesced_chunks"),
+        budget_seconds=(
+            None if payload["bu"] is None else _number(payload["bu"], "budget")
+        ),
+    )
+
+
+def _canonical_json(payload: Dict) -> str:
+    """The exact text the checkpoint checksum covers.
+
+    Canonical form (sorted keys, no whitespace) so that encode and
+    decode recompute the identical string: JSON's ``repr``-based float
+    formatting round-trips doubles exactly, and key order is pinned.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def encode_stream_checkpoint(payload: Dict) -> str:
+    """Wrap a checkpoint payload as a self-validating JSON document."""
+    canonical = _canonical_json(payload)
+    return json.dumps({
+        "format": STREAM_CHECKPOINT_FORMAT,
+        "ckpt_v": CHECKPOINT_VERSION,
+        "v": SCHEMA_VERSION,
+        "checksum": payload_checksum(canonical),
+        "payload": payload,
+    })
+
+
+def decode_stream_checkpoint(text: str) -> Dict:
+    """Validate and unwrap a checkpoint document.
+
+    Rejects non-checkpoint files, version skew (both checkpoint-layout
+    and wire-codec), and payloads whose recomputed canonical checksum
+    mismatches - a torn write or bit rot must fail here, not as a
+    corrupted monitor three cycles after resume.
+    """
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise CheckpointError(
+            f"checkpoint file is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(doc, dict) or doc.get("format") != STREAM_CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            "not a stream checkpoint file (missing format tag "
+            f"{STREAM_CHECKPOINT_FORMAT!r})"
+        )
+    if doc.get("ckpt_v") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint layout v{doc.get('ckpt_v')!r} does not match this "
+            f"checkout's v{CHECKPOINT_VERSION}; re-checkpoint from a "
+            "matching checkout"
+        )
+    if doc.get("v") != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint speaks wire schema v{doc.get('v')!r} but this "
+            f"checkout speaks v{SCHEMA_VERSION}"
+        )
+    payload = doc.get("payload")
+    if not isinstance(payload, dict):
+        raise CheckpointError("checkpoint payload must be an object")
+    if payload_checksum(_canonical_json(payload)) != doc.get("checksum"):
+        raise CheckpointError(
+            "checkpoint payload fails its checksum - the file was "
+            "damaged after it was written; fall back to an older "
+            "checkpoint or restart the stream cold"
+        )
+    return payload

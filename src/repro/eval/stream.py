@@ -37,10 +37,25 @@ without localizing (coalesced), and only the newest chunk gets a full
 cycle.  Every :class:`CycleReport` carries ``degraded`` /
 ``degrade_reason`` / ``shed_chunks`` / ``coalesced_chunks`` so an
 operator can see exactly which cycles ran in reduced-fidelity mode.
+
+Checkpointing: a monitor built with ``checkpoint_path`` snapshots its
+resumable state every ``checkpoint_every`` cycles through the codec in
+:mod:`repro.eval.serialize` (atomic write, checksummed).  A checkpoint
+carries the retained window chunks, the warm JLE/contrib state, and
+the cycle cursor; :meth:`StreamMonitor.from_checkpoint` rebuilds a
+monitor mid-incident that produces bit-identical :class:`CycleReport`s
+(timings aside) from the resume point.  Restoring replays
+``build_observation_batch`` over every previously-ingested chunk -
+:class:`~repro.routing.paths.PathSpace` interning is stateful and
+order-dependent, so the replay must reproduce the original gsid
+numbering - and cross-checks each retained chunk's regenerated arrays
+against the checkpointed ones, failing loudly on any stream drift.
 """
 
 from __future__ import annotations
 
+import math
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, replace
@@ -52,7 +67,7 @@ from ..core.flock import FlockInference
 from ..core.flock_fast import DeltaContrib, VectorJleState
 from ..core.gibbs import GibbsInference
 from ..core.window import WindowedProblem
-from ..errors import ExperimentError
+from ..errors import CheckpointError, ExperimentError
 from ..simulation.failures import PER_FLOW
 from ..simulation.stream import StreamChunk
 from ..telemetry.inputs import build_observation_batch
@@ -60,6 +75,13 @@ from ..topology.base import Topology
 from ..types import Prediction
 from .harness import SchemeSetup
 from .schemes import make_setup
+from .serialize import (
+    encode_stream_checkpoint,
+    ndarray_from_wire,
+    ndarray_to_wire,
+    prediction_from_wire,
+    prediction_to_wire,
+)
 
 
 @dataclass(frozen=True)
@@ -102,13 +124,16 @@ def incident_latencies(reports: List[CycleReport]) -> List[Dict[str, object]]:
     incidents: List[Dict[str, object]] = []
     onset: Optional[int] = None
     detected_at: Optional[int] = None
+    # Key by cycle number, not list position: a resumed monitor's report
+    # list starts mid-stream, so ``reports[i].cycle == i`` does not hold.
+    by_cycle = {report.cycle: report for report in reports}
 
     def close(end: int) -> None:
         start = onset
         latency = None if detected_at is None else detected_at - start
         seconds = (
             None if detected_at is None
-            else reports[detected_at].t_end - reports[start].t_start
+            else by_cycle[detected_at].t_end - by_cycle[start].t_start
         )
         incidents.append({
             "onset_cycle": start,
@@ -147,17 +172,38 @@ class StreamMonitor:
         setup: Optional[SchemeSetup] = None,
         cycle_budget: Optional[float] = None,
         clock=time.perf_counter,
+        checkpoint_every: int = 1,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_meta: Optional[Dict] = None,
     ) -> None:
-        if cycle_budget is not None and cycle_budget <= 0:
+        if cycle_budget is not None:
+            try:
+                finite = math.isfinite(cycle_budget)
+            except TypeError:
+                finite = False
+            if not finite or cycle_budget <= 0:
+                raise ExperimentError(
+                    "cycle_budget must be a positive finite number of "
+                    f"seconds, got {cycle_budget!r}"
+                )
+        if isinstance(checkpoint_every, bool) or not isinstance(
+            checkpoint_every, int
+        ) or checkpoint_every < 1:
             raise ExperimentError(
-                f"cycle_budget must be positive, got {cycle_budget}"
+                "checkpoint_every must be a positive integer number of "
+                f"cycles, got {checkpoint_every!r}"
             )
         self.topology = topology
+        self.scheme = scheme
+        self._scheme_registered = setup is None
         self.setup = setup if setup is not None else make_setup(scheme)
         self.window = window
         self.seed = seed
         self.cycle_budget = cycle_budget
         self.clock = clock
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_meta: Dict = dict(checkpoint_meta or {})
         localizer = self.setup.localizer
         self.warm = warm and isinstance(
             localizer, (FlockInference, GibbsInference)
@@ -177,6 +223,15 @@ class StreamMonitor:
         self._prev_prediction: Optional[Prediction] = None
         #: Running count of degraded cycles (for run summaries).
         self.degraded_cycles = 0
+        #: Cycles emitted so far (drives the checkpoint cadence).
+        self.cycles = 0
+        #: Next chunk index to process; a resumed run feeds the monitor
+        #: only chunks with ``index >= cursor``.
+        self.cursor = 0
+        # Every chunk index ever folded into the window, in ingest
+        # order.  Checkpointed so a resume can replay the interning
+        # sequence; shed chunks never appear here.
+        self._ingested: List[int] = []
 
     def _telemetry_for(self, chunk: StreamChunk):
         config = self.setup.telemetry
@@ -221,6 +276,8 @@ class StreamMonitor:
                 )
             self._contribs.append(state.added_contrib)
             self._state = state
+        self._ingested.append(int(chunk.index))
+        self.cursor = max(self.cursor, int(chunk.index) + 1)
         build_seconds = self.clock() - t0
         return obs, problem, state, build_seconds
 
@@ -288,11 +345,21 @@ class StreamMonitor:
         )
         self._prev_components = prediction.components
         self._prev_prediction = prediction
+        self.cycles += 1
         return report
+
+    def _autosave(self) -> None:
+        if (
+            self.checkpoint_path is not None
+            and self.cycles % self.checkpoint_every == 0
+        ):
+            self.save_checkpoint(self.checkpoint_path)
 
     def step(self, chunk: StreamChunk) -> CycleReport:
         """Fold one chunk in and re-localize (budget ladder applies)."""
-        return self._cycle(chunk, shed=0, coalesced=0, start=self.clock())
+        report = self._cycle(chunk, shed=0, coalesced=0, start=self.clock())
+        self._autosave()
+        return report
 
     def pump(self, chunks: Iterable[StreamChunk]) -> CycleReport:
         """Drain a backlog of chunks as one degraded cycle.
@@ -315,9 +382,11 @@ class StreamMonitor:
         backlog = backlog[shed:]
         for chunk in backlog[:-1]:
             self._ingest(chunk)
-        return self._cycle(
+        report = self._cycle(
             backlog[-1], shed=shed, coalesced=len(backlog) - 1, start=start
         )
+        self._autosave()
+        return report
 
     def run(
         self,
@@ -347,3 +416,232 @@ class StreamMonitor:
             reports.append(self.pump(stream[cursor:cursor + count]))
             cursor += count
         return reports
+
+    # -- checkpoint / resume ------------------------------------------
+
+    def checkpoint_payload(self) -> Dict:
+        """The monitor's resumable state as a wire-codec payload.
+
+        Everything :meth:`from_checkpoint` needs that it cannot
+        recompute from the regenerated stream: the monitor config, the
+        ingest history and cursor, the retained chunks' observation
+        arrays (stored for cross-validation against the replay), the
+        warm JLE state's non-recomputable facts (hypothesis, Δ, ll,
+        flips - bit-exact via the ndarray wire), the per-chunk contrib
+        cache, and the previous cycle's prediction (the churn baseline
+        and the ``"carried"`` budget rung).
+        """
+        if not self._scheme_registered:
+            raise CheckpointError(
+                "cannot checkpoint a monitor built from a custom "
+                "SchemeSetup; construct it with a registry scheme name "
+                "so a resume can rebuild the same setup"
+            )
+        retained = self.windowed.retained_chunk_observations() \
+            if self._ingested else []
+        indices = self._ingested[len(self._ingested) - len(retained):]
+        state = self._state
+        return {
+            "config": {
+                "scheme": self.scheme,
+                "window": self.window,
+                "seed": int(self.seed),
+                "warm": bool(self.warm),
+                "compressed": bool(self.windowed.compressed),
+                "cycle_budget": self.cycle_budget,
+                "n_components": int(self.topology.n_components),
+                "n_links": int(self.topology.n_links),
+            },
+            "meta": dict(self.checkpoint_meta),
+            "cursor": int(self.cursor),
+            "cycles": int(self.cycles),
+            "degraded_cycles": int(self.degraded_cycles),
+            "ingested": list(self._ingested),
+            "chunks": [
+                {
+                    "i": int(index),
+                    "ps": ndarray_to_wire(obs.path_set),
+                    "bad": ndarray_to_wire(obs.bad),
+                    "sent": ndarray_to_wire(obs.sent),
+                    "kind": ndarray_to_wire(obs.kind),
+                }
+                for index, obs in zip(indices, retained)
+            ],
+            "state": None if state is None else {
+                "h": sorted(int(c) for c in state.hypothesis),
+                "d": ndarray_to_wire(state.delta),
+                "ll": float(state.ll),
+                "f": int(state.flips),
+            },
+            "contribs": [
+                None if contrib is None else {
+                    "d": ndarray_to_wire(contrib.delta),
+                    "ll": float(contrib.ll),
+                    "h": sorted(int(c) for c in contrib.hypothesis),
+                }
+                for contrib in self._contribs
+            ],
+            "prev_components": sorted(
+                int(c) for c in self._prev_components
+            ),
+            "prev_prediction": (
+                None if self._prev_prediction is None
+                else prediction_to_wire(self._prev_prediction)
+            ),
+        }
+
+    def save_checkpoint(self, path: str) -> None:
+        """Write a checkpoint atomically (write-then-rename).
+
+        A crash mid-write leaves either the previous checkpoint or a
+        stray ``.tmp`` file - never a torn document; the checksum in
+        the document guards everything after the rename.
+        """
+        text = encode_stream_checkpoint(self.checkpoint_payload())
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        payload: Dict,
+        topology: Topology,
+        chunks: Iterable[StreamChunk],
+        clock=time.perf_counter,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+    ) -> "StreamMonitor":
+        """Rebuild a monitor from a decoded checkpoint payload.
+
+        ``chunks`` is the regenerated stream (same scenario, seed, and
+        sizing as the checkpointed run - the caller rebuilds it, e.g.
+        via :func:`repro.simulation.stream.replay_stream`).  The
+        restore replays ``build_observation_batch`` for every
+        previously-ingested chunk, in order, against the fresh
+        topology's PathSpace: interning is stateful, so the replay is
+        what reproduces the checkpointed gsid numbering.  Each retained
+        chunk's regenerated arrays are compared against the
+        checkpointed ones and any mismatch raises
+        :class:`~repro.errors.CheckpointError` - a resume against a
+        drifted stream must fail loudly, not localize garbage.
+
+        After the replay the warm state, contrib cache, and cycle
+        counters are restored verbatim; feeding the returned monitor
+        the chunks with ``index >= monitor.cursor`` produces cycle
+        reports bit-identical (timings aside) to the uninterrupted run.
+        """
+        for key in (
+            "config", "meta", "cursor", "cycles", "degraded_cycles",
+            "ingested", "chunks", "state", "contribs",
+            "prev_components", "prev_prediction",
+        ):
+            if key not in payload:
+                raise CheckpointError(
+                    f"checkpoint payload is missing {key!r}"
+                )
+        config = payload["config"]
+        if (
+            int(config["n_components"]) != topology.n_components
+            or int(config["n_links"]) != topology.n_links
+        ):
+            raise CheckpointError(
+                f"checkpoint was taken on a fabric with "
+                f"{config['n_components']} component(s) / "
+                f"{config['n_links']} link(s); this topology has "
+                f"{topology.n_components} / {topology.n_links} - "
+                "resume with the same preset"
+            )
+        monitor = cls(
+            topology,
+            scheme=config["scheme"],
+            window=int(config["window"]),
+            warm=bool(config["warm"]),
+            seed=int(config["seed"]),
+            compressed=bool(config["compressed"]),
+            cycle_budget=config["cycle_budget"],
+            clock=clock,
+            checkpoint_every=1 if checkpoint_every is None else checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            checkpoint_meta=payload["meta"],
+        )
+
+        by_index = {int(chunk.index): chunk for chunk in chunks}
+        stored = {int(entry["i"]): entry for entry in payload["chunks"]}
+        for index in payload["ingested"]:
+            index = int(index)
+            chunk = by_index.get(index)
+            if chunk is None:
+                raise CheckpointError(
+                    f"checkpoint ingested chunk {index} but the "
+                    "regenerated stream has no such chunk - resume "
+                    "with the checkpointed scenario, seed, and sizing"
+                )
+            config_t = monitor._telemetry_for(chunk)
+            rng = np.random.default_rng(monitor.seed + 0x5EED + index)
+            obs = build_observation_batch(chunk.batch, config_t, rng)
+            entry = stored.get(index)
+            if entry is not None:
+                for key, regenerated in (
+                    ("ps", obs.path_set), ("bad", obs.bad),
+                    ("sent", obs.sent), ("kind", obs.kind),
+                ):
+                    want = ndarray_from_wire(entry[key])
+                    if want.shape != regenerated.shape or not np.array_equal(
+                        want, regenerated
+                    ):
+                        raise CheckpointError(
+                            f"regenerated chunk {index} diverges from "
+                            f"the checkpointed observations ({key}) - "
+                            "the stream parameters differ from the "
+                            "checkpointed run"
+                        )
+            monitor.windowed.append(obs)
+        monitor._ingested = [int(i) for i in payload["ingested"]]
+        retained_now = monitor._ingested[
+            len(monitor._ingested) - monitor.windowed.n_chunks:
+        ] if monitor._ingested else []
+        if sorted(stored) != sorted(retained_now):
+            raise CheckpointError(
+                "checkpointed window chunks do not match the replayed "
+                "ingest history - the checkpoint is internally "
+                "inconsistent"
+            )
+
+        state_wire = payload["state"]
+        if state_wire is not None:
+            if not monitor.warm:
+                raise CheckpointError(
+                    "checkpoint carries warm JLE state but the restored "
+                    "scheme does not warm-start"
+                )
+            monitor._state = VectorJleState.restore(
+                monitor.windowed.problem,
+                monitor.setup.localizer.params,
+                hypothesis=state_wire["h"],
+                delta=ndarray_from_wire(state_wire["d"]),
+                ll=float(state_wire["ll"]),
+                flips=int(state_wire["f"]),
+            )
+        monitor._contribs = deque(
+            None if contrib is None else DeltaContrib(
+                delta=ndarray_from_wire(contrib["d"]),
+                ll=float(contrib["ll"]),
+                hypothesis=frozenset(int(c) for c in contrib["h"]),
+            )
+            for contrib in payload["contribs"]
+        )
+        monitor._prev_components = frozenset(
+            int(c) for c in payload["prev_components"]
+        )
+        monitor._prev_prediction = (
+            None if payload["prev_prediction"] is None
+            else prediction_from_wire(payload["prev_prediction"])
+        )
+        monitor.degraded_cycles = int(payload["degraded_cycles"])
+        monitor.cycles = int(payload["cycles"])
+        monitor.cursor = int(payload["cursor"])
+        return monitor

@@ -324,11 +324,11 @@ class TestFleetEvaluation:
         fleet.submit(path, "fig2", preset="tiny")
         conn = sqlite3.connect(path)
         plan = json.loads(
-            conn.execute("SELECT value FROM meta WHERE key='plan'").fetchone()[0]
+            conn.execute("SELECT plan FROM experiments WHERE id=1").fetchone()[0]
         )
         plan[0]["n"] += 1  # the submitter's checkout planned a different grid
         conn.execute(
-            "UPDATE meta SET value=? WHERE key='plan'", (json.dumps(plan),)
+            "UPDATE experiments SET plan=? WHERE id=1", (json.dumps(plan),)
         )
         conn.commit()
         conn.close()
